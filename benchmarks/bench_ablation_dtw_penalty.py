@@ -1,0 +1,54 @@
+"""Ablation: sweep the DTW asynchrony penalty (Section 4.1/4.2 design choice).
+
+The paper sets the asynchrony penalty equal to the L1 unequal-length
+penalty ``p`` (the 99-percentile arbitrary-point metric difference).  This
+ablation sweeps multiples of ``p`` on the TPCC classification task:
+zero penalty (plain DTW) should degrade classification sharply, while
+quality should be fairly flat in a broad band around 1.0x — showing the
+paper's choice is reasonable rather than finely tuned.
+"""
+
+import numpy as np
+
+from repro.core.clustering import distance_matrix, divergence_from_centroid, k_medoids
+from repro.core.distances import unequal_length_penalty
+from repro.core.dtw import dtw_distance
+from repro.experiments.common import simulate
+
+MULTIPLIERS = (0.0, 0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def sweep():
+    sim = simulate("tpcc", num_requests=70, seed=202)
+    traces = sim.traces
+    patterns = [t.series("cpi", 50_000).values for t in traces]
+    cpu_times = np.array([t.cpu_time_us() for t in traces])
+    rng = np.random.default_rng(202)
+    base_penalty = unequal_length_penalty(np.concatenate(patterns), rng)
+
+    quality = {}
+    for multiplier in MULTIPLIERS:
+        matrix = distance_matrix(
+            patterns,
+            lambda a, b: dtw_distance(
+                a, b, asynchrony_penalty=multiplier * base_penalty
+            ),
+        )
+        clusters = k_medoids(matrix, k=8, rng=np.random.default_rng(1))
+        quality[multiplier] = divergence_from_centroid(cpu_times, clusters)
+    return quality
+
+
+def test_ablation_dtw_penalty(benchmark):
+    quality = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    # Plain DTW (multiplier 0) is much worse than the paper's choice.
+    assert quality[0.0] > 2.0 * quality[1.0]
+    # Quality is not knife-edge sensitive around the paper's setting.
+    assert quality[0.5] < 1.8 * quality[1.0] + 0.02
+    assert quality[2.0] < 1.8 * quality[1.0] + 0.02
+
+    print()
+    print("divergence from centroid (CPU time) vs asynchrony penalty:")
+    for multiplier, value in quality.items():
+        print(f"  {multiplier:4.2f} x p : {100 * value:6.2f}%")

@@ -1,0 +1,53 @@
+"""Ablation: sampling frequency vs captured variation and overhead.
+
+Section 3.1 picks per-application sampling frequencies (10 us for the web
+server).  This ablation sweeps the interrupt period on the web server:
+finer sampling captures more intra-request variation (CoV rises toward an
+asymptote) but costs proportionally more, motivating both the paper's
+frequency choices and the cheaper syscall-triggered technique.
+"""
+
+from repro.core.variation import captured_variation
+from repro.experiments.common import simulate
+from repro.kernel.sampling import SamplingPolicy
+
+PERIODS_US = (5.0, 10.0, 20.0, 50.0, 100.0, 200.0)
+
+
+def sweep():
+    out = {}
+    for period in PERIODS_US:
+        run = simulate(
+            "webserver",
+            num_requests=150,
+            seed=203,
+            sampling=SamplingPolicy.interrupt(period),
+        )
+        cov = captured_variation(run.traces, "cpi")
+        overhead = run.sampler_stats.overhead_cycles(run.config.cost_model)
+        busy = float(run.busy_cycles_per_core.sum())
+        out[period] = (cov, overhead / busy)
+    return out
+
+
+def test_ablation_sampling_frequency(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    covs = {p: cov for p, (cov, _) in results.items()}
+    costs = {p: cost for p, (_, cost) in results.items()}
+
+    # Finer sampling captures at least as much variation...
+    assert covs[10.0] > covs[100.0]
+    assert covs[5.0] > covs[200.0]
+    # ...at proportionally higher cost (costs scale ~1/period).
+    assert costs[5.0] > 5 * costs[100.0]
+    # Diminishing returns: halving 10us -> 5us gains less than 100 -> 50.
+    gain_fine = covs[5.0] - covs[10.0]
+    gain_coarse = covs[50.0] - covs[100.0]
+    assert gain_fine < gain_coarse + 0.05
+
+    print()
+    print("period_us   captured CPI CoV   overhead (% of CPU)")
+    for period in PERIODS_US:
+        cov, cost = results[period]
+        print(f"  {period:6.0f}       {cov:8.3f}        {100 * cost:8.3f}%")

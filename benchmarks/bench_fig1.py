@@ -1,0 +1,19 @@
+"""Figure 1 benchmark: per-request CPI distributions, 1-core vs 4-core.
+
+Paper shape: serial distributions tightly clustered; 4-core concurrency
+spreads them and degrades the 90-percentile CPI application-dependently —
+TPCH roughly doubles, WeBWorK is unaffected.
+"""
+
+
+def test_fig1_cpi_distributions(run_experiment):
+    result = run_experiment("fig1", scale=0.6)
+    rows = {r["app"]: r for r in result.rows}
+    assert rows["tpch"]["p90_ratio"] > 1.6
+    assert rows["webwork"]["p90_ratio"] < 1.1
+    assert rows["tpcc"]["p90_ratio"] > 1.15
+    # Serial executions are tightly clustered relative to their mean.
+    for app in rows:
+        assert rows[app]["std_1core"] / rows[app]["mean_1core"] < 0.25
+    print()
+    print(result.render())

@@ -1,0 +1,39 @@
+"""Figure 10 benchmark: online signature identification accuracy.
+
+Paper shape: variation-pattern signatures beat average-metric-value
+signatures (error reduced by ~10 points or more) for web, TPCC, TPCH, and
+RUBiS; for WeBWorK both signature forms stay near coin-flip because every
+request follows identical semantics for its first ~10M instructions.
+"""
+
+import numpy as np
+
+
+def test_fig10_online_identification(run_experiment):
+    result = run_experiment("fig10", scale=0.6)
+    curves = {}
+    for row in result.rows:
+        prefix_cols = [k for k in row if k.startswith("p")]
+        curves[(row["app"], row["approach"])] = np.array(
+            [row[k] for k in sorted(prefix_cols, key=lambda c: int(c[1:]))]
+        )
+
+    # Variation signatures beat average-value signatures on most apps.
+    gains = {
+        app: curves[(app, "average")].mean() - curves[(app, "variation")].mean()
+        for app in ("webserver", "tpcc", "tpch", "rubis")
+    }
+    assert sum(g > 0 for g in gains.values()) >= 3, gains
+    assert np.mean(list(gains.values())) > 4.0, gains
+
+    # WeBWorK: both signature forms poor (identical prelude).
+    webwork_var = curves[("webwork", "variation")]
+    assert webwork_var.mean() > 35.0
+
+    # Identification improves with observed progress for the variation
+    # signatures on at least the web server and TPCC.
+    for app in ("webserver", "tpcc"):
+        curve = curves[(app, "variation")]
+        assert curve[-3:].mean() < curve[:3].mean() + 1e-9, app
+    print()
+    print(result.render())

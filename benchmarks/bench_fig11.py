@@ -1,0 +1,27 @@
+"""Figure 11 benchmark: online L2-miss-per-instruction prediction accuracy.
+
+Paper shape: the variable-aging EWMA filter with an appropriate gain
+achieves lower RMS error than both the request-average and last-value
+predictors on TPCH and WeBWorK; mid-range gains do best (the paper adopts
+alpha = 0.6 for its scheduling case study).
+"""
+
+
+def test_fig11_prediction_accuracy(run_experiment):
+    result = run_experiment("fig11", scale=0.8)
+    by_app = {}
+    for row in result.rows:
+        by_app.setdefault(row["app"], {})[row["predictor"]] = row["rmse"]
+
+    for app, errors in by_app.items():
+        va_errors = {k: v for k, v in errors.items() if k.startswith("vaEWMA")}
+        best = min(va_errors.values())
+        assert best < errors["request_average"], app
+        assert best <= errors["last_value"] * 1.02, app
+        # Extreme gains should not be the unique sweet spot family-wide:
+        # the best alpha lies strictly inside the sweep.
+        best_name = min(va_errors, key=va_errors.get)
+        alpha = float(best_name.split("=")[1])
+        assert 0.1 <= alpha <= 0.9
+    print()
+    print(result.render())

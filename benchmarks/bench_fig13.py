@@ -1,0 +1,24 @@
+"""Figure 13 benchmark: request CPI under contention-easing scheduling.
+
+Paper shape: contention easing does little for the *average* request CPI
+(a mixed result the paper discusses at length); the benefit concentrates
+in the worst case.  Our simulated contention model saturates where real
+bus contention explodes, so the worst-case improvement is smaller than the
+paper's ~10% (see the experiment's deviation note) — the benchmark asserts
+the average-unchanged property and bounds the worst-case regression.
+"""
+
+
+def test_fig13_cpi_under_scheduling(run_experiment):
+    result = run_experiment("fig13", scale=0.6)
+    by_key = {(r["app"], r["statistic"]): r for r in result.rows}
+
+    for app in ("tpch", "webwork"):
+        avg = by_key[(app, "average")]
+        # Average essentially unchanged (the paper's central observation).
+        assert abs(avg["change_pct"]) < 3.0, (app, avg)
+        # Worst-case: no material regression from the adaptive policy.
+        worst = by_key[(app, "p99.9")]
+        assert worst["change_pct"] < 4.0, (app, worst)
+    print()
+    print(result.render())

@@ -1,0 +1,24 @@
+"""Figure 2 benchmark: intra-request behavior variation examples.
+
+Paper shape: one representative request per application shows significant
+CPI / L2-refs / miss-ratio variation over its course; request lengths span
+~0.1 M (web) to several hundred million (WeBWorK) instructions.
+"""
+
+
+def test_fig2_intra_request_variation(run_experiment):
+    result = run_experiment("fig2", scale=0.6)
+    by_app = {}
+    for row in result.rows:
+        by_app.setdefault(row["app"], {})[row["metric"]] = row
+
+    # Length ordering spans orders of magnitude.
+    assert by_app["webserver"]["cpi"]["length_Mins"] < 1.0
+    assert by_app["webwork"]["cpi"]["length_Mins"] > 150.0
+    assert by_app["tpch"]["cpi"]["length_Mins"] > 20.0
+
+    # Metrics genuinely vary within single requests.
+    for app, metrics in by_app.items():
+        assert metrics["cpi"]["max/mean"] > 1.15, app
+    print()
+    print(result.render())

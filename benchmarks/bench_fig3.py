@@ -1,0 +1,31 @@
+"""Figure 3 benchmark: captured request behavior variations (CoV).
+
+Paper shape: considering intra-request fluctuations yields much stronger
+metric variations than the inter-request view for every application except
+TPCH, whose queries run uniformly over long data sequences.
+"""
+
+
+def test_fig3_captured_variation(run_experiment):
+    result = run_experiment("fig3", scale=0.5)
+    rows = {r["app"]: r for r in result.rows}
+
+    for app in ("webserver", "tpcc", "rubis", "webwork"):
+        gain = rows[app]["cpi:with_intra"] / rows[app]["cpi:inter"]
+        assert gain > 1.8, (app, gain)
+
+    tpch_gain = rows["tpch"]["cpi:with_intra"] / rows["tpch"]["cpi:inter"]
+    other_gains = [
+        rows[a]["cpi:with_intra"] / rows[a]["cpi:inter"]
+        for a in ("webserver", "tpcc", "rubis", "webwork")
+    ]
+    assert tpch_gain < min(other_gains)
+
+    # The same holds across the other two metrics.
+    for metric in ("l2_refs_per_ins", "l2_miss_ratio"):
+        for app in ("webserver", "webwork"):
+            assert (
+                rows[app][f"{metric}:with_intra"] > rows[app][f"{metric}:inter"]
+            ), (app, metric)
+    print()
+    print(result.render())

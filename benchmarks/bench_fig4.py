@@ -1,0 +1,27 @@
+"""Figure 4 benchmark: CDF of next-system-call distances.
+
+Paper numbers: P(next syscall within 16 us) ~97% (web), ~83% (TPCH),
+~72% (RUBiS); P(within 1 ms) ~82% (TPCC) and ~81% (WeBWorK).
+"""
+
+import pytest
+
+
+def test_fig4_syscall_distance_cdfs(run_experiment):
+    result = run_experiment("fig4", scale=1.0)
+    time_rows = {
+        r["app"]: r for r in result.rows if r["axis"] == "time_us"
+    }
+
+    assert time_rows["webserver"]["<= 16"] == pytest.approx(0.97, abs=0.04)
+    assert time_rows["tpch"]["<= 16"] == pytest.approx(0.83, abs=0.07)
+    assert time_rows["rubis"]["<= 16"] == pytest.approx(0.72, abs=0.07)
+    assert time_rows["tpcc"]["<= 1024"] == pytest.approx(0.82, abs=0.08)
+    assert time_rows["webwork"]["<= 1024"] == pytest.approx(0.81, abs=0.08)
+
+    # CDFs are monotone on both axes.
+    for row in result.rows:
+        probs = [v for k, v in row.items() if k.startswith("<=")]
+        assert probs == sorted(probs)
+    print()
+    print(result.render())

@@ -1,0 +1,30 @@
+"""Figure 5 benchmark: syscall-triggered vs interrupt sampling overhead.
+
+Paper shape: at matched sampling frequency the syscall-triggered approach
+saves 18-38% of sampling overhead (our syscall-saturated applications
+reach the 44% in-kernel/interrupt cost-ratio ceiling; see the experiment's
+deviation note).  Base interrupt-sampling costs range from ~0.02% to ~5.8%
+of CPU consumption across the applications' sampling frequencies.
+"""
+
+
+def test_fig5_sampling_overhead(run_experiment):
+    result = run_experiment("fig5", scale=0.4)
+    rows = {r["app"]: r for r in result.rows}
+
+    for app, row in rows.items():
+        assert 0.50 <= row["normalized_overhead"] < 1.0, (app, row)
+        # Sample counts were matched within tolerance for fairness.
+        assert row["syscall_samples"] > 0.5 * row["interrupt_samples"]
+
+    # The web server (finest sampling, 10us) has the highest base cost.
+    base_costs = {app: rows[app]["base_cost_pct"] for app in rows}
+    assert max(base_costs, key=base_costs.get) == "webserver"
+    assert base_costs["webserver"] > 3.0
+    assert base_costs["tpch"] < 0.5
+
+    # Apps with long syscall-free stretches need backup interrupts.
+    assert rows["tpcc"]["backup_interrupts"] > 0
+    assert rows["webwork"]["backup_interrupts"] > 0
+    print()
+    print(result.render())

@@ -1,0 +1,20 @@
+"""Figure 6 benchmark: similar TPCC requests drifting apart.
+
+Paper shape: for two inherently similar requests whose executions drift
+apart after ~0.8 M instructions, L1 over-estimates the difference while
+dynamic time warping absorbs the shift; a genuinely different request
+stays clearly separated under DTW with the asynchrony penalty.
+"""
+
+
+def test_fig6_drift_pair(run_experiment):
+    result = run_experiment("fig6", scale=1.0)
+    rows = {r["pair"]: r for r in result.rows}
+    drift = rows["base vs drifted"]
+    control = rows["base vs control(payment)"]
+
+    assert drift["dtw"] < 0.6 * drift["l1"]
+    assert drift["dtw+penalty"] <= drift["l1"]
+    assert control["dtw+penalty"] > 4 * drift["dtw+penalty"]
+    print()
+    print(result.render())

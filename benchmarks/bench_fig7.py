@@ -1,0 +1,46 @@
+"""Figure 7 benchmark: request classification quality by differencing measure.
+
+Paper shape (divergence from centroid, lower is better):
+* DTW with asynchrony penalty achieves high quality everywhere;
+* plain DTW can be very poor (no-cost time shifting under-estimates);
+* Levenshtein over syscall sequences is relatively poor;
+* average-CPI does well on peak CPI but poorly on CPU time;
+* L1 lands close to DTW+penalty at far lower cost.
+"""
+
+import numpy as np
+
+
+def test_fig7_classification_quality(run_experiment):
+    result = run_experiment("fig7", scale=0.5)
+    cpu_rows = {r["app"]: r for r in result.panels["property: cpu_time"]}
+    peak_rows = {r["app"]: r for r in result.panels["property: peak_cpi"]}
+
+    # The asynchrony penalty is essential: plain DTW is far worse on the
+    # CPU-time property for most applications.
+    worse = [
+        cpu_rows[a]["dtw"] / cpu_rows[a]["dtw_penalty"] for a in cpu_rows
+    ]
+    assert np.median(worse) > 2.0
+
+    # DTW+penalty achieves consistently low divergence on CPU time.
+    for app, row in cpu_rows.items():
+        assert row["dtw_penalty"] <= row["avg_cpi"] + 1e-9, app
+        assert row["dtw_penalty"] < 25.0, app
+
+    # avg-CPI: competitive on peak CPI, poor on CPU time (paper's claim).
+    avg_gap_cpu = np.mean(
+        [cpu_rows[a]["avg_cpi"] - cpu_rows[a]["dtw_penalty"] for a in cpu_rows]
+    )
+    avg_gap_peak = np.mean(
+        [peak_rows[a]["avg_cpi"] - peak_rows[a]["dtw_penalty"] for a in peak_rows]
+    )
+    assert avg_gap_cpu > avg_gap_peak
+
+    # Levenshtein is poorer than DTW+penalty on average (CPU time).
+    lev_gap = np.mean(
+        [cpu_rows[a]["levenshtein"] - cpu_rows[a]["dtw_penalty"] for a in cpu_rows]
+    )
+    assert lev_gap > 0
+    print()
+    print(result.render())

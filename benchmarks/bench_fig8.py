@@ -1,0 +1,20 @@
+"""Figure 8 benchmark: TPCH anomaly vs group-centroid reference (Q20).
+
+Paper shape: the anomalous request exhibits higher CPI for much of its
+execution; the CPI excess tracks the L2 misses-per-instruction excess
+(shared-L2/bandwidth contention is the cause); the anomaly's L2 reference
+rate shows some increase.
+"""
+
+
+def test_fig8_tpch_anomaly(run_experiment):
+    result = run_experiment("fig8", scale=1.0)
+    rows = {r["metric"]: r for r in result.rows}
+
+    assert rows["cpi"]["frac_windows_higher"] > 0.55
+    assert rows["cpi"]["anomaly_mean"] > rows["cpi"]["reference_mean"]
+    assert rows["l2_miss_per_ins"]["frac_windows_higher"] > 0.5
+    # "Some increase" of the reference rate.
+    assert rows["l2_refs_per_ins"]["mean_ratio"] > 0.99
+    print()
+    print(result.render())

@@ -1,0 +1,26 @@
+"""Figure 9 benchmark: WeBWorK multi-metric anomaly pair (problem 954).
+
+Paper shape: within a same-problem request pair with very similar L2
+reference streams, the anomaly shows higher CPI in certain execution
+regions, and the CPI excess matches the L2 misses-per-instruction excess;
+unlike TPCH, the reference-rate patterns stay very similar.
+"""
+
+
+def test_fig9_webwork_anomaly(run_experiment):
+    result = run_experiment("fig9", scale=1.0)
+    rows = {r["metric"]: r for r in result.rows}
+
+    # Same work: L2 reference streams nearly identical.
+    assert 0.9 < rows["l2_refs_per_ins"]["mean_ratio"] < 1.12
+
+    # The anomaly suffers in (at least) certain regions.
+    assert rows["cpi"]["anomaly_mean"] >= rows["cpi"]["reference_mean"] * 0.99
+    assert rows["l2_miss_per_ins"]["mean_ratio"] > 1.0
+
+    # CPI excess tracks miss excess (the correlation is in the notes).
+    corr_note = next(n for n in result.notes if "correlation" in n)
+    corr = float(corr_note.rsplit("r=", 1)[1])
+    assert corr > 0.4
+    print()
+    print(result.render())

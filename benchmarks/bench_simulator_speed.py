@@ -1,0 +1,64 @@
+"""Engine microbenchmarks: how fast does the simulator itself run?
+
+Unlike the per-figure benches (one timed round of a whole experiment),
+these are classic repeated-round microbenchmarks of the core engine and
+the two O(m*n) dynamic programs, guarding against performance regressions
+in the inner loops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import levenshtein_distance
+from repro.core.dtw import dtw_distance
+from repro.kernel.sampling import SamplingPolicy
+from repro.kernel.simulator import ServerSimulator, SimConfig
+from repro.workloads.registry import make_workload
+
+
+def run_webserver():
+    config = SimConfig(
+        sampling=SamplingPolicy.interrupt(10.0),
+        num_requests=50,
+        concurrency=8,
+        seed=1,
+    )
+    return ServerSimulator(make_workload("webserver"), config).run()
+
+
+def test_engine_throughput(benchmark):
+    result = benchmark.pedantic(run_webserver, rounds=3, iterations=1)
+    # Sanity: a real run happened.
+    assert len(result.traces) == 50
+    samples = result.sampler_stats.total_samples
+    assert samples > 500
+    # The engine must stay fast enough for the full harness: 50 web
+    # requests at 10us sampling well under a second.
+    assert benchmark.stats.stats.mean < 1.0
+
+
+def test_dtw_speed(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.random(400)
+    y = rng.random(400)
+
+    distance = benchmark.pedantic(
+        lambda: dtw_distance(x, y, asynchrony_penalty=0.5),
+        rounds=5,
+        iterations=2,
+    )
+    assert np.isfinite(distance)
+    # Row-vectorized DP: a 400x400 instance in a few milliseconds.
+    assert benchmark.stats.stats.mean < 0.25
+
+
+def test_levenshtein_speed(benchmark):
+    rng = np.random.default_rng(0)
+    a = [str(t) for t in rng.integers(0, 12, size=300)]
+    b = [str(t) for t in rng.integers(0, 12, size=300)]
+
+    distance = benchmark.pedantic(
+        lambda: levenshtein_distance(a, b), rounds=5, iterations=2
+    )
+    assert 0 <= distance <= 300
+    assert benchmark.stats.stats.mean < 0.25

@@ -1,0 +1,29 @@
+"""Table 1 benchmark: per-sample cost and observer effect measurement.
+
+Paper values at 3 GHz: in-kernel 0.42-0.46 us / 1270-1374 cycles / 649
+instructions; interrupt 0.76-0.80 us / 2276-2388 cycles / 724-734
+instructions; additional L2 references only measurable under cache
+pollution (~13 in-kernel, ~12 interrupt).
+"""
+
+import pytest
+
+
+def test_table1_sampling_costs(run_experiment):
+    result = run_experiment("table1", scale=1.0)
+    rows = {(r["context"], r["workload"]): r for r in result.rows}
+
+    assert rows[("in_kernel", "mbench_spin")]["time_us"] == pytest.approx(0.42, abs=0.03)
+    assert rows[("in_kernel", "mbench_data")]["time_us"] == pytest.approx(0.46, abs=0.03)
+    assert rows[("interrupt", "mbench_spin")]["time_us"] == pytest.approx(0.76, abs=0.03)
+    assert rows[("interrupt", "mbench_data")]["time_us"] == pytest.approx(0.80, abs=0.03)
+
+    assert rows[("in_kernel", "mbench_spin")]["instructions"] == pytest.approx(649, rel=0.02)
+    assert rows[("interrupt", "mbench_data")]["instructions"] == pytest.approx(734, rel=0.02)
+
+    # "N/M" rows: no measurable L2 effect without pollution.
+    assert abs(rows[("in_kernel", "mbench_spin")]["l2_refs"]) < 0.5
+    assert rows[("in_kernel", "mbench_data")]["l2_refs"] == pytest.approx(13, rel=0.1)
+    assert rows[("interrupt", "mbench_data")]["l2_refs"] == pytest.approx(12, rel=0.1)
+    print()
+    print(result.render())

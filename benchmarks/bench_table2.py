@@ -1,0 +1,25 @@
+"""Table 2 benchmark: syscall-name -> CPI-change mappings (Apache).
+
+Paper shape: writev signals the largest CPI increase (+3.66 +- 2.27, HTTP
+header writing); stat and lseek signal decreases; directions for most
+names reproduce.
+"""
+
+
+def test_table2_transition_signals(run_experiment):
+    result = run_experiment("table2", scale=0.6)
+    rows = {r["syscall"]: r for r in result.rows}
+
+    assert result.rows[0]["syscall"] == "writev"
+    assert rows["writev"]["direction"] == "increase"
+    assert rows["writev"]["mean_change"] > 1.5
+
+    assert rows["stat"]["direction"] == "decrease"
+    assert rows["lseek"]["direction"] == "decrease"
+    assert rows["poll"]["direction"] == "increase"
+
+    agree = [r for r in result.rows if r["agrees"] == "yes"]
+    judged = [r for r in result.rows if r["agrees"]]
+    assert len(agree) >= 0.7 * len(judged)
+    print()
+    print(result.render())

@@ -1,0 +1,36 @@
+"""Shared machinery for the per-figure benchmark harness."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def pytest_configure(config):
+    os.makedirs(results_dir(), exist_ok=True)
+
+
+def results_dir() -> str:
+    return os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run one experiment under pytest-benchmark (a single timed round —
+    these are multi-second simulations, not microbenchmarks), persist the
+    rendered output under results/, and return the ExperimentResult."""
+
+    def _run(exp_id: str, scale: float):
+        from repro.experiments.base import get_experiment
+
+        module = get_experiment(exp_id)
+        result = benchmark.pedantic(
+            module.run, kwargs={"scale": scale}, rounds=1, iterations=1
+        )
+        path = os.path.join(results_dir(), f"{exp_id}.txt")
+        with open(path, "w") as fh:
+            fh.write(result.render() + "\n")
+        return result
+
+    return _run

@@ -1,0 +1,76 @@
+"""Contention-easing CPU scheduling on a multicore (Section 5).
+
+Scenario: a decision-support database (TPC-H) co-runs many queries on a
+4-core machine with shared L2 caches.  Requests in high-resource-usage
+periods should avoid co-execution.  This example:
+
+1. profiles the workload to find the 80-percentile L2 misses-per-
+   instruction threshold,
+2. runs the baseline round-robin scheduler and the contention-easing
+   scheduler (vaEWMA alpha=0.6 online prediction, 5 ms rescheduling),
+3. compares high-usage co-execution time and request CPI statistics.
+
+Run:  python examples/adaptive_scheduling.py
+"""
+
+import numpy as np
+
+from repro import ContentionEasingScheduler, RoundRobinScheduler, SamplingPolicy, run_workload
+from repro.analysis.stats import weighted_percentile
+
+
+def run(scheduler, threshold, seed=3):
+    return run_workload(
+        "tpch",
+        num_requests=60,
+        concurrency=8,
+        seed=seed,
+        sampling=SamplingPolicy.interrupt(1000.0),
+        scheduler=scheduler,
+        high_usage_mpi_threshold=threshold,
+    )
+
+
+def main():
+    # 1. Profile: where is the 80-percentile of L2 misses per instruction?
+    profile = run_workload(
+        "tpch", num_requests=30, concurrency=8, seed=1,
+        sampling=SamplingPolicy.interrupt(1000.0),
+    )
+    values = np.concatenate(
+        [t.period_values("l2_miss_per_ins")[0] for t in profile.traces]
+    )
+    weights = np.concatenate(
+        [t.period_values("l2_miss_per_ins")[1] for t in profile.traces]
+    )
+    threshold = weighted_percentile(values, 80, weights)
+    print(f"high-usage threshold (80-pct L2 miss/ins): {threshold:.5f}\n")
+
+    # 2. Baseline vs contention easing.
+    baseline = run(RoundRobinScheduler(), threshold)
+    eased_policy = ContentionEasingScheduler(high_usage_threshold=threshold)
+    eased = run(eased_policy, threshold)
+
+    # 3. Compare.
+    print(f"{'':28s} {'baseline':>10s} {'easing':>10s}")
+    for level, label in ((">=2", ">= 2 cores high"), (">=3", ">= 3 cores high"),
+                         ("all", "all 4 cores high")):
+        b = baseline.high_usage_fractions()[level]
+        e = eased.high_usage_fractions()[level]
+        print(f"{label:28s} {b:10.3%} {e:10.3%}")
+
+    b_cpi = baseline.request_cpis()
+    e_cpi = eased.request_cpis()
+    print(f"\n{'request CPI':28s} {'baseline':>10s} {'easing':>10s}")
+    for stat, fn in (("average", np.mean), ("95-percentile", lambda x: np.percentile(x, 95)),
+                     ("worst", np.max)):
+        print(f"{stat:28s} {fn(b_cpi):10.3f} {fn(e_cpi):10.3f}")
+
+    print(f"\nscheduler activity: {eased_policy.stats}")
+    print("\n(the paper reports the same mixed outcome: co-execution of "
+          "high-usage periods drops noticeably, the average request is "
+          "unchanged, and only the worst case benefits)")
+
+
+if __name__ == "__main__":
+    main()

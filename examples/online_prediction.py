@@ -1,0 +1,78 @@
+"""Online request identification and resource-usage prediction (Section 4.4).
+
+Scenario: a hosting platform wants to predict, shortly after a request
+arrives, whether it will be expensive (above-median CPU) — without any
+application instrumentation.  A bank of representative request signatures
+(L2 references-per-instruction variation patterns, a metric that reflects
+inherent behavior rather than dynamic contention) is matched against each
+new request's partial execution.
+
+Run:  python examples/online_prediction.py
+"""
+
+import numpy as np
+
+from repro import RecentPastPredictor, SamplingPolicy, SignatureBank, run_workload
+from repro.core.distances import unequal_length_penalty
+
+WINDOW = 10_000  # instructions per signature element (web-server scale)
+PREFIXES = (2, 5, 10)
+
+
+def main():
+    result = run_workload(
+        "webserver",
+        num_requests=240,
+        concurrency=8,
+        seed=17,
+        sampling=SamplingPolicy.interrupt(10.0),
+    )
+    traces = result.traces
+    half = len(traces) // 2
+    bank_traces, test_traces = traces[:half], traces[half:]
+
+    patterns = [t.series("l2_refs_per_ins", WINDOW).values for t in traces]
+    cpu_times = np.array([t.cpu_time_us() for t in traces])
+    threshold = float(np.median(cpu_times))
+    print(f"bank: {half} signatures, test: {len(test_traces)} requests, "
+          f"median CPU {threshold:.0f} us\n")
+
+    rng = np.random.default_rng(17)
+    penalty = unequal_length_penalty(np.concatenate(patterns[:half]), rng)
+    bank = SignatureBank(penalty=penalty, method="variation")
+    for i in range(half):
+        bank.add(patterns[i], cpu_times[i])
+
+    recent = RecentPastPredictor(window=10)
+    header = "".join(f"  after {p:2d} windows" for p in PREFIXES)
+    print(f"{'approach':32s}{header}")
+
+    errors = {p: 0 for p in PREFIXES}
+    baseline_errors = 0
+    for i, trace in enumerate(test_traces, start=half):
+        actual = cpu_times[i] > threshold
+        for p in PREFIXES:
+            predicted = bank.predict_cpu_above(patterns[i][:p], threshold)
+            errors[p] += predicted != actual
+        baseline = recent.predict_cpu_above(threshold)
+        baseline_errors += (baseline if baseline is not None else False) != actual
+        recent.observe_completion(cpu_times[i])
+
+    n = len(test_traces)
+    row = "".join(f"  {errors[p] / n:15.1%}" for p in PREFIXES)
+    print(f"{'variation-pattern signatures':32s}{row}")
+    flat = f"  {baseline_errors / n:15.1%}" * len(PREFIXES)
+    print(f"{'recent-past average (baseline)':32s}{flat}")
+
+    print("\nexample identification:")
+    trace = test_traces[0]
+    idx = half
+    match = bank.identify(patterns[idx][:5])
+    print(f"  incoming request: file {trace.spec.metadata['file_id']}, "
+          f"actual CPU {cpu_times[idx]:.0f} us")
+    print(f"  matched bank signature: CPU {match.cpu_time_us:.0f} us -> "
+          f"predicted {'expensive' if match.cpu_time_us > threshold else 'cheap'}")
+
+
+if __name__ == "__main__":
+    main()

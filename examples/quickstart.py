@@ -1,0 +1,59 @@
+"""Quickstart: simulate a server workload and inspect request behavior.
+
+Runs the TPC-C workload on the simulated 4-core machine with 100-us
+interrupt-driven counter sampling, then prints per-request hardware
+metrics and the captured behavior variation — the paper's core
+measurement (Sections 2-3).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SamplingPolicy, captured_variation, inter_request_variation, run_workload
+
+
+def main():
+    result = run_workload(
+        "tpcc",
+        num_requests=60,
+        concurrency=8,
+        seed=42,
+        sampling=SamplingPolicy.interrupt(100.0),
+    )
+
+    print(f"completed {len(result.traces)} requests "
+          f"in {result.wall_cycles / 3e9 * 1000:.1f} simulated ms of wall time")
+    print(f"counter samples taken: {result.sampler_stats.total_samples}\n")
+
+    print("first five requests:")
+    print(f"{'kind':14s} {'instructions':>13s} {'CPU us':>9s} {'CPI':>6s} "
+          f"{'L2 refs/ins':>12s} {'miss ratio':>11s}")
+    for trace in result.traces[:5]:
+        print(
+            f"{trace.spec.kind:14s} {trace.total_instructions:13.0f} "
+            f"{trace.cpu_time_us():9.1f} {trace.overall_cpi():6.2f} "
+            f"{trace.overall('l2_refs_per_ins'):12.4f} "
+            f"{trace.overall('l2_miss_ratio'):11.3f}"
+        )
+
+    print("\ncaptured behavior variation (coefficient of variation, Eq. 1):")
+    for metric in ("cpi", "l2_refs_per_ins", "l2_miss_ratio"):
+        inter = inter_request_variation(result.traces, metric)
+        intra = captured_variation(result.traces, metric)
+        print(f"  {metric:16s} inter-request {inter:.3f}   "
+              f"with intra-request {intra:.3f}")
+
+    # Intra-request view of one transaction (Figure 2 style).
+    trace = next(t for t in result.traces if t.spec.kind == "new_order")
+    series = trace.series("cpi", 50_000)
+    print(f"\nCPI over one new-order transaction "
+          f"({trace.total_instructions / 1e6:.1f} M instructions, "
+          f"{len(series)} windows of 50k):")
+    values = series.values
+    lo, hi = values.min(), values.max()
+    for k, v in enumerate(values):
+        bar = "#" * int(1 + 30 * (v - lo) / max(hi - lo, 1e-9))
+        print(f"  window {k:2d}  cpi {v:5.2f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Statistics helpers and ASCII reporting used by experiments and tests."""
+
+from repro.analysis.stats import (
+    Histogram,
+    coefficient_of_variation,
+    histogram,
+    root_mean_square_error,
+    weighted_mean,
+    weighted_percentile,
+)
+
+__all__ = [
+    "Histogram",
+    "coefficient_of_variation",
+    "histogram",
+    "root_mean_square_error",
+    "weighted_mean",
+    "weighted_percentile",
+]

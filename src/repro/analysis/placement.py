@@ -1,0 +1,141 @@
+"""Distributed request tracking analysis and component placement.
+
+The paper's future work (Section 7): "The online management of request
+behavior variations across a distributed server architecture can expose
+both local and inter-machine variations ... It may also guide additional
+distributed system resource management such as component placement."
+
+Given traces from a multi-machine run (``cluster_machine`` platform with a
+``tier_placement``), this module decomposes each request's behavior by
+machine and compares candidate component placements by simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.stats import coefficient_of_variation
+from repro.hardware.platform import MachineConfig
+
+
+@dataclass(frozen=True)
+class MachineShare:
+    """One request's execution share on one machine."""
+
+    machine: int
+    instructions: float
+    cycles: float
+
+    @property
+    def cpi(self) -> float:
+        if self.instructions <= 0:
+            raise ValueError("no instructions executed on this machine")
+        return self.cycles / self.instructions
+
+
+def machine_breakdown(trace, machine: MachineConfig) -> Dict[int, MachineShare]:
+    """Split one request's counters by the machine that executed them."""
+    shares: Dict[int, List[float]] = {}
+    for core, instructions, cycles in zip(
+        trace.core, trace.instructions, trace.cycles
+    ):
+        domain = machine.bus_domain_of(int(core))
+        acc = shares.setdefault(domain, [0.0, 0.0])
+        acc[0] += float(instructions)
+        acc[1] += float(cycles)
+    return {
+        domain: MachineShare(machine=domain, instructions=ins, cycles=cyc)
+        for domain, (ins, cyc) in shares.items()
+    }
+
+
+def per_machine_variation(traces, machine: MachineConfig) -> Dict[int, dict]:
+    """Local and population CPI variation per machine.
+
+    For each machine: the inter-request CoV of per-request local CPI
+    (requests weighted by local instructions), the mean local CPI, and the
+    machine's share of total instructions.  A machine with high local
+    variation is where adaptive management (or re-placement) pays off.
+    """
+    per_machine_values: Dict[int, List[float]] = {}
+    per_machine_weights: Dict[int, List[float]] = {}
+    total_instructions = 0.0
+    for trace in traces:
+        total_instructions += trace.total_instructions
+        for domain, share in machine_breakdown(trace, machine).items():
+            if share.instructions <= 0:
+                continue
+            per_machine_values.setdefault(domain, []).append(share.cpi)
+            per_machine_weights.setdefault(domain, []).append(share.instructions)
+
+    report = {}
+    for domain, values in per_machine_values.items():
+        weights = per_machine_weights[domain]
+        machine_ins = float(np.sum(weights))
+        report[domain] = {
+            "mean_cpi": float(np.average(values, weights=weights)),
+            "cpi_cov": coefficient_of_variation(values, weights),
+            "instruction_share": machine_ins / total_instructions,
+            "requests_seen": len(values),
+        }
+    return report
+
+
+def compare_placements(
+    workload_name: str,
+    placements: Dict[str, Dict[str, int]],
+    machine: MachineConfig,
+    num_requests: int = 30,
+    concurrency: Optional[int] = None,
+    seed: int = 0,
+    network_delay_us: float = 50.0,
+) -> List[dict]:
+    """Simulate candidate tier placements and report their performance.
+
+    ``placements`` maps a label to a tier->machine assignment.  Returns one
+    row per placement with mean/p95 request CPI and latency, sorted by mean
+    latency — the data a placement controller would act on.
+    """
+    from repro.kernel.sampling import SamplingPolicy
+    from repro.kernel.simulator import ServerSimulator, SimConfig
+    from repro.workloads.registry import make_workload
+
+    if concurrency is None:
+        concurrency = 2 * machine.num_cores
+    rows = []
+    for label, placement in placements.items():
+        workload = make_workload(workload_name)
+        config = SimConfig(
+            machine=machine,
+            sampling=SamplingPolicy.interrupt(workload.sampling_period_us),
+            num_requests=num_requests,
+            concurrency=concurrency,
+            seed=seed,
+            tier_placement=placement,
+            network_delay_us=network_delay_us,
+        )
+        result = ServerSimulator(workload, config).run()
+        cpis = result.request_cpis()
+        latencies = np.array(
+            [
+                (t.completion_cycle - t.arrival_cycle)
+                / (machine.frequency_ghz * 1000.0)
+                for t in result.traces
+            ]
+        )
+        rows.append(
+            {
+                "placement": label,
+                "mean_cpi": float(cpis.mean()),
+                "p95_cpi": float(np.percentile(cpis, 95)),
+                "mean_latency_us": float(latencies.mean()),
+                "p95_latency_us": float(np.percentile(latencies, 95)),
+                "throughput_req_per_s": len(result.traces)
+                / (result.wall_cycles / (machine.frequency_ghz * 1e9)),
+            }
+        )
+    rows.sort(key=lambda r: r["mean_latency_us"])
+    return rows

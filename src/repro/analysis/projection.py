@@ -1,0 +1,66 @@
+"""Cross-platform performance projection from request traces.
+
+The paper's future-work section proposes that "fine-grained behavior
+variation patterns can help project request resource consumption on a new
+hardware platform."  A request's captured timeline separates base
+execution (instructions at base CPI) from shared-resource costs (L2 miss
+traffic); projecting onto a machine with a different memory latency or
+clock only requires re-pricing the miss component per period — which the
+variation pattern localizes, unlike a whole-request average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.platform import MachineConfig
+
+
+@dataclass(frozen=True)
+class ProjectionResult:
+    """Projected request cost on a target platform."""
+
+    projected_cycles: float
+    projected_cpi: float
+    projected_cpu_time_us: float
+    #: Observed values on the source platform, for comparison.
+    observed_cycles: float
+    observed_cpi: float
+
+
+def project_trace(
+    trace,
+    source: MachineConfig,
+    target: MachineConfig,
+) -> ProjectionResult:
+    """Project one request's cost from ``source`` onto ``target``.
+
+    Per period, the observed cycles decompose into a memory component
+    (misses x source miss penalty) and a core component (everything
+    else); the target cost re-prices the memory component with the target
+    penalty.  Frequency differences affect wall-clock time, not cycles.
+    """
+    memory_cycles = trace.l2_misses * source.l2_miss_penalty_cycles
+    core_cycles = np.maximum(trace.cycles - memory_cycles, 0.0)
+    projected = core_cycles + trace.l2_misses * target.l2_miss_penalty_cycles
+    total = float(projected.sum())
+    instructions = trace.total_instructions
+    return ProjectionResult(
+        projected_cycles=total,
+        projected_cpi=total / instructions,
+        projected_cpu_time_us=total / (target.frequency_ghz * 1000.0),
+        observed_cycles=trace.total_cycles,
+        observed_cpi=trace.overall_cpi(),
+    )
+
+
+def project_population(traces, source: MachineConfig, target: MachineConfig):
+    """Project a request population; returns arrays of projected CPIs and
+    CPU times (us)."""
+    results = [project_trace(t, source, target) for t in traces]
+    return (
+        np.array([r.projected_cpi for r in results]),
+        np.array([r.projected_cpu_time_us for r in results]),
+    )

@@ -1,0 +1,123 @@
+"""Weighted statistics primitives shared across the library.
+
+The paper's metrics are all ratios of cumulative hardware-counter values
+measured over execution periods of unequal length, so every statistic here
+takes an optional weight vector (period lengths).  Equation numbers refer to
+the ASPLOS 2010 paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _as_arrays(values, weights):
+    values = np.asarray(values, dtype=float)
+    if weights is None:
+        weights = np.ones_like(values)
+    else:
+        weights = np.asarray(weights, dtype=float)
+    if values.shape != weights.shape:
+        raise ValueError(
+            f"values shape {values.shape} != weights shape {weights.shape}"
+        )
+    if values.size == 0:
+        raise ValueError("empty input")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    if not np.any(weights > 0):
+        raise ValueError("at least one weight must be positive")
+    return values, weights
+
+
+def weighted_mean(values, weights=None) -> float:
+    """Length-weighted mean of per-period metric values."""
+    values, weights = _as_arrays(values, weights)
+    return float(np.sum(weights * values) / np.sum(weights))
+
+
+def coefficient_of_variation(values, weights=None, overall=None) -> float:
+    """Time-weighted coefficient of variation (Equation 1 of the paper).
+
+    ``values`` are per-period metric values, ``weights`` the period lengths
+    (t_i).  ``overall`` is the overall metric value x-bar for the whole
+    execution; when omitted it is the weighted mean of ``values``.
+    """
+    values, weights = _as_arrays(values, weights)
+    xbar = weighted_mean(values, weights) if overall is None else float(overall)
+    if xbar == 0.0:
+        raise ValueError("overall metric value is zero; CoV undefined")
+    variance = np.sum(weights * (values - xbar) ** 2) / np.sum(weights)
+    return float(np.sqrt(variance) / abs(xbar))
+
+
+def weighted_percentile(values, q, weights=None) -> float:
+    """Weighted percentile (q in [0, 100]) using the cumulative-weight CDF.
+
+    The returned value is the smallest sample whose cumulative weight share
+    reaches ``q`` percent, matching how the paper marks "90-percentile
+    request CPI" over populations of unequally long requests.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    values, weights = _as_arrays(values, weights)
+    order = np.argsort(values, kind="stable")
+    values = values[order]
+    weights = weights[order]
+    cdf = np.cumsum(weights) / np.sum(weights)
+    idx = int(np.searchsorted(cdf, q / 100.0, side="left"))
+    idx = min(idx, values.size - 1)
+    return float(values[idx])
+
+
+def root_mean_square_error(actual, predicted, weights=None) -> float:
+    """Length-weighted RMS prediction error (Equation 7 of the paper)."""
+    actual = np.asarray(actual, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if actual.shape != predicted.shape:
+        raise ValueError("actual and predicted must have the same shape")
+    errors, weights = _as_arrays(actual - predicted, weights)
+    mse = np.sum(weights * errors**2) / np.sum(weights)
+    return float(np.sqrt(mse))
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A probability histogram over fixed-width bins (as in Figure 1)."""
+
+    bin_edges: np.ndarray
+    probabilities: np.ndarray
+
+    @property
+    def bin_width(self) -> float:
+        return float(self.bin_edges[1] - self.bin_edges[0])
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        return (self.bin_edges[:-1] + self.bin_edges[1:]) / 2.0
+
+    def mode_bin(self) -> float:
+        """Center of the most probable bin."""
+        return float(self.bin_centers[int(np.argmax(self.probabilities))])
+
+
+def histogram(values, lo: float, hi: float, bin_width: float) -> Histogram:
+    """Probability histogram with fixed-width bins over ``[lo, hi]``.
+
+    Values outside the range are clamped into the first/last bin so that
+    probabilities always sum to one (Figure 1 plots are probability plots).
+    """
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("empty input")
+    n_bins = max(1, int(round((hi - lo) / bin_width)))
+    edges = lo + bin_width * np.arange(n_bins + 1)
+    clamped = np.clip(values, lo, np.nextafter(edges[-1], lo))
+    counts, _ = np.histogram(clamped, bins=edges)
+    return Histogram(bin_edges=edges, probabilities=counts / values.size)

@@ -1,0 +1,157 @@
+"""Command-line simulation driver.
+
+Usage examples::
+
+    repro-simulate tpcc --requests 60 --sampling interrupt:100
+    repro-simulate webserver --sampling syscall:8,60 --export traces.json
+    repro-simulate tpch --scheduler contention --requests 40 --summary-metric cpi
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.variation import captured_variation, inter_request_variation
+from repro.hardware.platform import WOODCREST, serial_machine
+from repro.kernel.contention import ContentionEasingScheduler
+from repro.kernel.sampling import SamplingMode, SamplingPolicy
+from repro.kernel.scheduler import RoundRobinScheduler
+from repro.kernel.simulator import ServerSimulator, SimConfig
+from repro.kernel.trace_io import save_traces
+from repro.workloads.registry import SERVER_APPS, available_workloads, make_workload
+
+
+def parse_sampling(text: str) -> SamplingPolicy:
+    """Parse ``interrupt:<period_us>``, ``syscall:<tmin>,<tbackup>``,
+    ``ctx`` into a sampling policy."""
+    kind, _, args = text.partition(":")
+    if kind == "interrupt":
+        return SamplingPolicy.interrupt(float(args or "100"))
+    if kind == "syscall":
+        t_min, _, t_backup = args.partition(",")
+        if not t_min or not t_backup:
+            raise ValueError("syscall sampling needs '<tmin_us>,<tbackup_us>'")
+        return SamplingPolicy.syscall_triggered(float(t_min), float(t_backup))
+    if kind == "ctx":
+        return SamplingPolicy(mode=SamplingMode.CONTEXT_SWITCH_ONLY)
+    raise ValueError(f"unknown sampling spec {text!r}")
+
+
+def parse_scheduler(text: str, threshold: float):
+    if text == "roundrobin":
+        return RoundRobinScheduler()
+    if text == "contention":
+        return ContentionEasingScheduler(
+            high_usage_threshold=threshold, adaptive_threshold=True
+        )
+    raise ValueError(f"unknown scheduler {text!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-simulate",
+        description="Simulate a server workload and report request behavior",
+    )
+    parser.add_argument("workload", help=f"one of {', '.join(SERVER_APPS)}")
+    parser.add_argument("--requests", type=int, default=40)
+    parser.add_argument("--concurrency", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cores", type=int, choices=(1, 4), default=4,
+        help="1 = serial baseline machine, 4 = the paper's Woodcrest",
+    )
+    parser.add_argument(
+        "--sampling", default=None,
+        help="interrupt:<period_us> | syscall:<tmin_us>,<tbackup_us> | ctx "
+        "(default: interrupt at the workload's paper frequency)",
+    )
+    parser.add_argument(
+        "--scheduler", choices=("roundrobin", "contention"), default="roundrobin"
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.01,
+        help="contention scheduler warm-up high-usage threshold (miss/ins)",
+    )
+    parser.add_argument("--export", help="write traces to this JSON file")
+    parser.add_argument(
+        "--top", type=int, default=5, help="how many requests to print"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.workload not in available_workloads():
+        print(
+            f"unknown workload {args.workload!r}; "
+            f"available: {', '.join(available_workloads())}",
+            file=sys.stderr,
+        )
+        return 2
+
+    workload = make_workload(args.workload)
+    sampling = (
+        parse_sampling(args.sampling)
+        if args.sampling
+        else SamplingPolicy.interrupt(workload.sampling_period_us)
+    )
+    machine = WOODCREST if args.cores == 4 else serial_machine()
+    concurrency = args.concurrency or (8 if args.cores == 4 else 1)
+    config = SimConfig(
+        machine=machine,
+        sampling=sampling,
+        scheduler=parse_scheduler(args.scheduler, args.threshold),
+        num_requests=args.requests,
+        concurrency=concurrency,
+        seed=args.seed,
+    )
+    result = ServerSimulator(workload, config).run()
+
+    cpis = result.request_cpis()
+    cpu_times = np.array([t.cpu_time_us() for t in result.traces])
+    print(
+        f"{args.workload}: {len(result.traces)} requests on {args.cores} "
+        f"core(s), {result.sampler_stats.total_samples} counter samples, "
+        f"{result.wall_cycles / 3e9 * 1000:.1f} simulated ms"
+    )
+    print(
+        f"request CPI: mean {cpis.mean():.2f}, p90 "
+        f"{np.percentile(cpis, 90):.2f}, max {cpis.max():.2f}"
+    )
+    print(
+        f"request CPU: mean {cpu_times.mean():.0f} us, p90 "
+        f"{np.percentile(cpu_times, 90):.0f} us"
+    )
+    for metric in ("cpi", "l2_refs_per_ins", "l2_miss_ratio"):
+        inter = inter_request_variation(result.traces, metric)
+        intra = captured_variation(result.traces, metric)
+        print(f"{metric}: inter-request CoV {inter:.3f}, with intra {intra:.3f}")
+
+    rows = [
+        {
+            "id": t.spec.request_id,
+            "kind": t.spec.kind,
+            "instructions": int(t.total_instructions),
+            "cpu_us": t.cpu_time_us(),
+            "cpi": t.overall_cpi(),
+            "periods": t.num_periods,
+        }
+        for t in result.traces[: args.top]
+    ]
+    print()
+    print(format_table(rows, title=f"first {len(rows)} requests"))
+
+    if args.export:
+        save_traces(result.traces, args.export)
+        print(f"\ntraces written to {args.export}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

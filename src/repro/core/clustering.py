@@ -1,0 +1,176 @@
+"""k-medoids request classification (Section 4.2).
+
+The mean of a set of request variation patterns is not well defined, so the
+paper replaces k-means with k-medoids: each cluster is represented by its
+*centroid request* — the member whose summed distance to all other members
+is minimal — and requests are iteratively reassigned to the nearest
+centroid.  The implementation works on a precomputed distance matrix so any
+differencing measure from Section 4.1 plugs in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+
+def distance_matrix(
+    items: Sequence, distance: Callable, symmetric: bool = True
+) -> np.ndarray:
+    """Dense pairwise distance matrix for ``items``."""
+    n = len(items)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        start = i + 1 if symmetric else 0
+        for j in range(start, n):
+            if i == j:
+                continue
+            d = float(distance(items[i], items[j]))
+            matrix[i, j] = d
+            if symmetric:
+                matrix[j, i] = d
+    return matrix
+
+
+@dataclass(frozen=True)
+class KMedoidsResult:
+    """Outcome of one k-medoids run."""
+
+    medoids: np.ndarray
+    labels: np.ndarray
+    iterations: int
+    total_cost: float
+
+    def members(self, cluster: int) -> np.ndarray:
+        return np.flatnonzero(self.labels == cluster)
+
+
+def _init_medoids(matrix: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Greedy farthest-point seeding (deterministic given the rng)."""
+    n = matrix.shape[0]
+    first = int(rng.integers(n))
+    medoids = [first]
+    min_dist = matrix[first].copy()
+    while len(medoids) < k:
+        candidate = int(np.argmax(min_dist))
+        if min_dist[candidate] == 0.0:
+            # Remaining points coincide with existing medoids; fill randomly.
+            remaining = np.setdiff1d(np.arange(n), medoids)
+            extra = rng.choice(remaining, size=k - len(medoids), replace=False)
+            medoids.extend(int(e) for e in extra)
+            break
+        medoids.append(candidate)
+        min_dist = np.minimum(min_dist, matrix[candidate])
+    return np.array(medoids, dtype=int)
+
+
+def k_medoids(
+    matrix: np.ndarray,
+    k: int,
+    rng: Optional[np.random.Generator] = None,
+    max_iterations: int = 50,
+) -> KMedoidsResult:
+    """Cluster by iterative medoid refinement over a distance matrix."""
+    matrix = np.asarray(matrix, dtype=float)
+    n = matrix.shape[0]
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("matrix must be square")
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    medoids = _init_medoids(matrix, k, rng)
+    labels = np.argmin(matrix[:, medoids], axis=1)
+    for iteration in range(1, max_iterations + 1):
+        new_medoids = medoids.copy()
+        for cluster in range(k):
+            members = np.flatnonzero(labels == cluster)
+            if members.size == 0:
+                continue
+            # The centroid request: minimum summed distance to members.
+            within = matrix[np.ix_(members, members)].sum(axis=1)
+            new_medoids[cluster] = members[int(np.argmin(within))]
+        new_labels = np.argmin(matrix[:, new_medoids], axis=1)
+        converged = np.array_equal(new_medoids, medoids) and np.array_equal(
+            new_labels, labels
+        )
+        medoids, labels = new_medoids, new_labels
+        if converged:
+            break
+    total_cost = float(matrix[np.arange(n), medoids[labels]].sum())
+    return KMedoidsResult(
+        medoids=medoids, labels=labels, iterations=iteration, total_cost=total_cost
+    )
+
+
+def silhouette_score(matrix: np.ndarray, result: KMedoidsResult) -> float:
+    """Mean silhouette coefficient of a clustering over a distance matrix.
+
+    For each request: a = mean distance to its own cluster's other members,
+    b = smallest mean distance to another cluster; silhouette =
+    (b - a) / max(a, b).  Singleton clusters contribute 0 (the standard
+    convention).  Higher is better; useful for choosing k when the paper's
+    k = 10 is not obviously right for a new workload.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    n = matrix.shape[0]
+    labels = result.labels
+    clusters = {c: np.flatnonzero(labels == c) for c in np.unique(labels)}
+    if len(clusters) < 2:
+        raise ValueError("silhouette needs at least two clusters")
+    scores = np.zeros(n)
+    for i in range(n):
+        own = clusters[labels[i]]
+        if own.size <= 1:
+            continue
+        a = matrix[i, own[own != i]].mean()
+        b = min(
+            matrix[i, members].mean()
+            for c, members in clusters.items()
+            if c != labels[i]
+        )
+        scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())
+
+
+def choose_k(
+    matrix: np.ndarray,
+    k_range=range(2, 11),
+    rng: Optional[np.random.Generator] = None,
+) -> KMedoidsResult:
+    """Cluster with the k from ``k_range`` maximizing the silhouette."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    best = None
+    best_score = -np.inf
+    n = np.asarray(matrix).shape[0]
+    for k in k_range:
+        if not 2 <= k <= max(2, n - 1):
+            continue
+        result = k_medoids(matrix, k=k, rng=np.random.default_rng(rng.integers(2**31)))
+        score = silhouette_score(matrix, result)
+        if score > best_score:
+            best_score = score
+            best = result
+    if best is None:
+        raise ValueError("no feasible k in range")
+    return best
+
+
+def divergence_from_centroid(
+    properties: np.ndarray, result: KMedoidsResult
+) -> float:
+    """Mean divergence of a request property from its cluster centroid.
+
+    For request property value ``v_r`` and its centroid's value ``v_c``
+    the divergence is ``|v_r - v_c| / v_c`` (Section 4.2); the return value
+    averages over all requests, expressed as a fraction (0.2 = 20%).
+    """
+    properties = np.asarray(properties, dtype=float)
+    centroid_values = properties[result.medoids[result.labels]]
+    if np.any(centroid_values == 0):
+        raise ValueError("centroid property value of zero")
+    return float(np.mean(np.abs(properties - centroid_values) / centroid_values))

@@ -1,0 +1,99 @@
+"""Request differencing measures (Section 4.1), except dynamic time warping.
+
+* :func:`l1_distance` — element-wise L1 over two fixed-window metric value
+  sequences plus a per-element penalty for unequal lengths (Equation 2);
+* :func:`average_metric_distance` — the prior-work baseline: the absolute
+  difference of whole-request average metric values;
+* :func:`levenshtein_distance` — Magpie-style software-event differencing:
+  string edit distance between two system-call name sequences;
+* :func:`unequal_length_penalty` — the paper's choice of the penalty ``p``:
+  the 99-percentile of metric differences between two arbitrary points of
+  the application's execution.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def l1_distance(x, y, penalty: float) -> float:
+    """L1 distance of two metric value sequences (Equation 2).
+
+    The common prefix contributes element-wise absolute differences; each
+    surplus element of the longer sequence contributes ``penalty``.
+    """
+    if penalty < 0:
+        raise ValueError("penalty must be non-negative")
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n = min(x.size, y.size)
+    if n == 0:
+        raise ValueError("empty sequence")
+    return float(np.abs(x[:n] - y[:n]).sum() + abs(x.size - y.size) * penalty)
+
+
+def average_metric_distance(x, y) -> float:
+    """Difference of average metric values (the paper's prior signature)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size == 0 or y.size == 0:
+        raise ValueError("empty sequence")
+    return float(abs(x.mean() - y.mean()))
+
+
+def levenshtein_distance(a: Sequence, b: Sequence) -> int:
+    """Edit distance between two event sequences (insert/delete/substitute).
+
+    Used on request system-call name sequences as the software-metric-only
+    baseline from Magpie.  Runs a row-vectorized dynamic program.
+    """
+    if len(a) == 0:
+        return len(b)
+    if len(b) == 0:
+        return len(a)
+    # Map tokens to small ints for fast vector comparison.
+    vocab = {}
+    for token in a:
+        vocab.setdefault(token, len(vocab))
+    for token in b:
+        vocab.setdefault(token, len(vocab))
+    a_ids = np.array([vocab[t] for t in a])
+    b_ids = np.array([vocab[t] for t in b])
+
+    n = b_ids.size
+    columns = np.arange(1, n + 1)
+    previous = np.arange(n + 1)
+    for i, a_id in enumerate(a_ids, start=1):
+        substitution = previous[:-1] + (b_ids != a_id)
+        deletion = previous[1:] + 1
+        best = np.minimum(substitution, deletion)
+        # Insertion has a within-row dependency:
+        #   current[j] = min(best[j], current[j-1] + 1)
+        # which unrolls to current[j] = j + min(i, min_{k<=j}(best[k] - k)).
+        current = np.empty_like(previous)
+        current[0] = i
+        current[1:] = columns + np.minimum(
+            i, np.minimum.accumulate(best - columns)
+        )
+        previous = current
+    return int(previous[-1])
+
+
+def unequal_length_penalty(
+    sample_values, rng: np.random.Generator, n_pairs: int = 20_000, q: float = 99.0
+) -> float:
+    """The penalty ``p`` of Equation 2 for one application.
+
+    Drawn as the ``q``-percentile of the distribution of metric differences
+    at two arbitrary points of application execution, estimated from the
+    pooled per-window metric values of the workload.
+    """
+    values = np.asarray(sample_values, dtype=float)
+    if values.size < 2:
+        raise ValueError("need at least two sample values")
+    i = rng.integers(values.size, size=n_pairs)
+    j = rng.integers(values.size, size=n_pairs)
+    diffs = np.abs(values[i] - values[j])
+    return float(np.percentile(diffs, q))

@@ -1,0 +1,123 @@
+"""End-to-end online request identification pipeline (Section 4.4).
+
+:class:`OnlineIdentifier` packages the paper's signature workflow — build
+a bank of representative request signatures from completed traces, then
+identify incoming requests from their partial executions and predict
+request properties — behind one object, so server-management code does not
+re-derive windows, penalties, and thresholds every time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.distances import unequal_length_penalty
+from repro.core.signatures import SignatureBank
+
+
+@dataclass(frozen=True)
+class Identification:
+    """Outcome of identifying one partial request execution."""
+
+    predicted_cpu_time_us: float
+    predicted_expensive: bool
+    matched_label: Optional[str]
+    windows_used: int
+
+
+class OnlineIdentifier:
+    """Identify requests online from partial variation patterns.
+
+    Parameters mirror the paper's choices: the signature metric defaults
+    to L2 references per instruction (it reflects inherent behavior rather
+    than dynamic contention), differencing defaults to the cheap L1
+    distance, and the expensive/cheap threshold defaults to the median CPU
+    time of the training population.
+    """
+
+    def __init__(
+        self,
+        metric: str = "l2_refs_per_ins",
+        window_instructions: float = 100_000,
+        method: str = "variation",
+        threshold_us: Optional[float] = None,
+        seed: int = 0,
+    ):
+        if window_instructions <= 0:
+            raise ValueError("window_instructions must be positive")
+        self.metric = metric
+        self.window_instructions = float(window_instructions)
+        self.method = method
+        self._explicit_threshold = threshold_us
+        self.threshold_us: Optional[float] = threshold_us
+        self._seed = seed
+        self._bank: Optional[SignatureBank] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._bank is not None and len(self._bank) > 0
+
+    def fit(self, traces: Sequence) -> "OnlineIdentifier":
+        """Build the signature bank from completed request traces."""
+        if not traces:
+            raise ValueError("need at least one training trace")
+        patterns = [
+            t.series(self.metric, self.window_instructions).values for t in traces
+        ]
+        cpu_times = np.array([t.cpu_time_us() for t in traces])
+        if self._explicit_threshold is None:
+            self.threshold_us = float(np.median(cpu_times))
+        rng = np.random.default_rng(self._seed)
+        if sum(p.size for p in patterns) < 2:
+            raise ValueError("training traces too short for signatures")
+        penalty = unequal_length_penalty(np.concatenate(patterns), rng)
+        bank = SignatureBank(penalty=penalty, method=self.method)
+        for pattern, cpu, trace in zip(patterns, cpu_times, traces):
+            bank.add(pattern, cpu, label=trace.spec.kind)
+        self._bank = bank
+        return self
+
+    def pattern_of(self, trace) -> np.ndarray:
+        """The signature pattern of a (possibly partial) trace."""
+        return trace.series(self.metric, self.window_instructions).values
+
+    def identify(self, partial_pattern) -> Identification:
+        """Identify a request from its observed partial pattern."""
+        if not self.is_fitted:
+            raise RuntimeError("identifier not fitted; call fit() first")
+        partial = np.asarray(partial_pattern, dtype=float)
+        match = self._bank.identify(partial)
+        return Identification(
+            predicted_cpu_time_us=match.cpu_time_us,
+            predicted_expensive=match.cpu_time_us > self.threshold_us,
+            matched_label=match.label,
+            windows_used=int(partial.size),
+        )
+
+    def identify_trace_prefix(self, trace, max_instructions: float) -> Identification:
+        """Identify from the first ``max_instructions`` of a trace."""
+        pattern = self.pattern_of(trace)
+        windows = max(1, int(max_instructions // self.window_instructions))
+        return self.identify(pattern[:windows])
+
+    def evaluate(
+        self, traces: Sequence, prefix_windows: Sequence[int]
+    ) -> List[float]:
+        """Misprediction rate of expensive/cheap at each prefix length."""
+        if not self.is_fitted:
+            raise RuntimeError("identifier not fitted; call fit() first")
+        errors = []
+        patterns = [self.pattern_of(t) for t in traces]
+        actual = [t.cpu_time_us() > self.threshold_us for t in traces]
+        for windows in prefix_windows:
+            if windows < 1:
+                raise ValueError("prefix windows must be positive")
+            wrong = sum(
+                self.identify(pattern[:windows]).predicted_expensive != truth
+                for pattern, truth in zip(patterns, actual)
+            )
+            errors.append(wrong / len(traces))
+        return errors

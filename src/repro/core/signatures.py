@@ -1,0 +1,145 @@
+"""Online request signature identification (Section 4.4).
+
+The system maintains a bank of representative request signatures — the
+paper uses the variation pattern of L2 references per instruction, a metric
+that reflects inherent request behavior rather than dynamic L2-contention
+effects.  Shortly after a request begins, its partial variation pattern is
+matched against same-length prefixes of the bank signatures (L1 distance,
+chosen for its low online cost); the nearest signature's recorded property
+predicts the new request's property (here: whether its CPU consumption will
+land above or below the workload median).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.distances import average_metric_distance, l1_distance
+
+
+@dataclass(frozen=True)
+class Signature:
+    """One bank entry: a metric variation pattern plus request properties."""
+
+    values: np.ndarray
+    cpu_time_us: float
+    label: Optional[str] = None
+
+
+class SignatureBank:
+    """A bank of representative request signatures."""
+
+    def __init__(self, penalty: float, method: str = "variation"):
+        """``method`` selects the differencing used for identification:
+
+        * ``"variation"`` — L1 distance of metric variation patterns
+          (the paper's contribution);
+        * ``"average"`` — difference of average metric values (the prior
+          signature form the paper compares against).
+        """
+        if method not in ("variation", "average"):
+            raise ValueError(f"unknown method {method!r}")
+        if penalty < 0:
+            raise ValueError("penalty must be non-negative")
+        self._signatures: List[Signature] = []
+        self._penalty = penalty
+        self._method = method
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def add(self, values, cpu_time_us: float, label: Optional[str] = None) -> None:
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            raise ValueError("empty signature")
+        self._signatures.append(
+            Signature(values=values, cpu_time_us=float(cpu_time_us), label=label)
+        )
+
+    def identify(self, partial_values) -> Signature:
+        """Best-matching bank signature for a partial variation pattern.
+
+        Bank signatures are compared over the prefix of the partial
+        pattern's length: an online identification can only use the
+        execution observed so far.
+        """
+        if not self._signatures:
+            raise ValueError("empty signature bank")
+        partial = np.asarray(partial_values, dtype=float)
+        if partial.size == 0:
+            raise ValueError("empty partial pattern")
+        best = None
+        best_distance = np.inf
+        for signature in self._signatures:
+            prefix = signature.values[: partial.size]
+            if self._method == "variation":
+                d = l1_distance(partial, prefix, penalty=self._penalty)
+            else:
+                d = average_metric_distance(partial, prefix)
+            if d < best_distance:
+                best_distance = d
+                best = signature
+        return best
+
+    def predict_cpu_above(self, partial_values, threshold_us: float) -> bool:
+        """Predict whether the request's CPU usage will exceed ``threshold_us``."""
+        return self.identify(partial_values).cpu_time_us > threshold_us
+
+
+@dataclass
+class RecentPastPredictor:
+    """The conventional transparent baseline: recent past workloads.
+
+    Without online information about an incoming request, the CPU usage of
+    each request is estimated as the average consumption of the last
+    ``window`` completed requests.
+    """
+
+    window: int = 10
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ValueError("window must be at least 1")
+        self._recent: List[float] = []
+
+    def observe_completion(self, cpu_time_us: float) -> None:
+        self._recent.append(float(cpu_time_us))
+        if len(self._recent) > self.window:
+            self._recent.pop(0)
+
+    def predict_cpu_above(self, threshold_us: float) -> Optional[bool]:
+        if not self._recent:
+            return None
+        return float(np.mean(self._recent)) > threshold_us
+
+
+def prediction_error_curve(
+    bank: SignatureBank,
+    test_patterns: Sequence[np.ndarray],
+    test_cpu_times: Sequence[float],
+    threshold_us: float,
+    prefix_lengths: Sequence[int],
+) -> np.ndarray:
+    """Misprediction rate vs. observed execution prefix (Figure 10).
+
+    ``prefix_lengths[k]`` is the number of leading windows available at
+    evaluation point ``k``; the error is the fraction of test requests
+    whose above/below-median CPU prediction is wrong.
+    """
+    if len(test_patterns) != len(test_cpu_times):
+        raise ValueError("test inputs must align")
+    errors = np.zeros(len(prefix_lengths))
+    for k, n_windows in enumerate(prefix_lengths):
+        if n_windows < 1:
+            raise ValueError("prefix lengths must be positive")
+        wrong = 0
+        for pattern, cpu in zip(test_patterns, test_cpu_times):
+            prefix = np.asarray(pattern, dtype=float)[:n_windows]
+            predicted = bank.predict_cpu_above(prefix, threshold_us)
+            actual = cpu > threshold_us
+            wrong += predicted != actual
+        errors[k] = wrong / len(test_patterns)
+    return errors

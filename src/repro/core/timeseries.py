@@ -1,0 +1,95 @@
+"""Period-weighted metric time series.
+
+A request's captured behavior is a time-ordered sequence of metric values,
+one per execution period between counter samples, with widely varying
+period lengths.  :class:`MetricSeries` carries the values together with
+their lengths, and supports resampling onto fixed-length windows (the
+representation used by the differencing measures of Section 4.1, where
+"each value in the sequence is measured for a fixed-length period").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import coefficient_of_variation, weighted_mean
+
+
+@dataclass(frozen=True)
+class MetricSeries:
+    """Time-ordered metric values with per-value period lengths."""
+
+    values: np.ndarray
+    lengths: np.ndarray
+
+    def __post_init__(self):
+        values = np.asarray(self.values, dtype=float)
+        lengths = np.asarray(self.lengths, dtype=float)
+        if values.ndim != 1 or values.shape != lengths.shape:
+            raise ValueError("values and lengths must be equal-length 1-D arrays")
+        if values.size == 0:
+            raise ValueError("empty series")
+        if np.any(lengths <= 0):
+            raise ValueError("period lengths must be positive")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "lengths", lengths)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def total_length(self) -> float:
+        return float(self.lengths.sum())
+
+    def mean(self) -> float:
+        return weighted_mean(self.values, self.lengths)
+
+    def coefficient_of_variation(self, overall=None) -> float:
+        return coefficient_of_variation(self.values, self.lengths, overall=overall)
+
+    def prefix(self, max_length: float) -> "MetricSeries":
+        """The leading sub-series covering at most ``max_length`` of length.
+
+        Used for online identification from partial request executions
+        (Section 4.4).  The period straddling the cut is truncated.
+        """
+        if max_length <= 0:
+            raise ValueError("max_length must be positive")
+        cum = np.cumsum(self.lengths)
+        n_full = int(np.searchsorted(cum, max_length, side="left"))
+        if n_full >= len(self):
+            return self
+        values = self.values[: n_full + 1].copy()
+        lengths = self.lengths[: n_full + 1].copy()
+        already = cum[n_full - 1] if n_full > 0 else 0.0
+        lengths[-1] = max_length - already
+        if lengths[-1] <= 0:
+            values, lengths = values[:-1], lengths[:-1]
+        return MetricSeries(values=values, lengths=lengths)
+
+    def resample(self, window: float) -> np.ndarray:
+        """Length-weighted average values over fixed-size windows.
+
+        The metric is assumed uniform within each period; window ``k``
+        averages the overlapping periods weighted by overlap.  A trailing
+        partial window shorter than 25% of ``window`` is dropped (its
+        average would be dominated by noise).
+        """
+        if window <= 0:
+            raise ValueError("window must be positive")
+        boundaries = np.concatenate([[0.0], np.cumsum(self.lengths)])
+        total = boundaries[-1]
+        # Cumulative metric "mass" (value x length) is piecewise linear in
+        # the length axis; window masses are differences of interpolants.
+        cum_mass = np.concatenate([[0.0], np.cumsum(self.values * self.lengths)])
+        n_windows = int(np.ceil(total / window))
+        edges = np.minimum(window * np.arange(n_windows + 1), total)
+        mass_at_edges = np.interp(edges, boundaries, cum_mass)
+        masses = np.diff(mass_at_edges)
+        widths = np.diff(edges)
+        keep = widths > 0.25 * window
+        if not np.any(keep):
+            keep[0] = widths[0] > 0
+        return masses[keep] / widths[keep]

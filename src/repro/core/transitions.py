@@ -1,0 +1,118 @@
+"""Behavior transition signals from system calls (Section 3.2, Table 2).
+
+During an online training process, each occurrence of a system call is
+mapped to the change of a target execution metric over windows before and
+after the call.  Per syscall name the trainer maintains the running mean
+and standard deviation of the metric change (Welford's online algorithm):
+the mean indicates the significance of the subsequent behavior transition,
+the standard deviation its uniformity.  The most-correlated names become
+sampling triggers for the enhanced syscall-triggered sampler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _Welford:
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return float(np.sqrt(self.m2 / (self.count - 1)))
+
+
+@dataclass(frozen=True)
+class TransitionSignal:
+    """Learned metric-change statistics for one system call name."""
+
+    name: str
+    mean_change: float
+    std_change: float
+    occurrences: int
+
+    @property
+    def direction(self) -> str:
+        return "increase" if self.mean_change >= 0 else "decrease"
+
+
+class TransitionSignalTrainer:
+    """Online trainer of syscall-name -> metric-change mappings."""
+
+    def __init__(self, window_us: float = 10.0, metric: str = "cpi"):
+        if window_us <= 0:
+            raise ValueError("window_us must be positive")
+        self.window_us = window_us
+        self.metric = metric
+        self._stats: Dict[str, _Welford] = {}
+
+    def observe(self, name: str, metric_before: float, metric_after: float) -> None:
+        self._stats.setdefault(name, _Welford()).update(metric_after - metric_before)
+
+    def train_on_trace(self, trace, min_occurrence_gap_us: float = 0.0) -> int:
+        """Feed every recorded syscall of a request trace; returns count used.
+
+        The before/after windows are measured on the request's *execution*
+        timeline (scheduling gaps removed), matching in-kernel bookkeeping
+        that reads cumulative per-request counters.
+        """
+        window_cycles = self.window_us * trace.frequency_ghz * 1000.0
+        used = 0
+        last_offset = -np.inf
+        gap_cycles = min_occurrence_gap_us * trace.frequency_ghz * 1000.0
+        for cycle, name in trace.syscall_events:
+            offset = trace.exec_offset_of_cycle(cycle)
+            if offset - last_offset < gap_cycles:
+                continue
+            before = trace.counters_in_exec_window(offset - window_cycles, offset)
+            after = trace.counters_in_exec_window(offset, offset + window_cycles)
+            if before.instructions <= 0 or after.instructions <= 0:
+                continue
+            if self.metric == "cpi":
+                change = (before.cpi(), after.cpi())
+            elif self.metric == "l2_miss_per_ins":
+                change = (
+                    before.l2_misses / before.instructions,
+                    after.l2_misses / after.instructions,
+                )
+            else:
+                raise ValueError(f"unsupported training metric {self.metric!r}")
+            self.observe(name, change[0], change[1])
+            last_offset = offset
+            used += 1
+        return used
+
+    def signals(self, min_occurrences: int = 5) -> List[TransitionSignal]:
+        """All learned signals, strongest mean change first."""
+        out = [
+            TransitionSignal(
+                name=name,
+                mean_change=stats.mean,
+                std_change=stats.std,
+                occurrences=stats.count,
+            )
+            for name, stats in self._stats.items()
+            if stats.count >= min_occurrences
+        ]
+        out.sort(key=lambda s: abs(s.mean_change), reverse=True)
+        return out
+
+    def select_triggers(
+        self, top: int = 4, min_occurrences: int = 5
+    ) -> Tuple[str, ...]:
+        """The syscall names most correlated with behavior transitions."""
+        return tuple(s.name for s in self.signals(min_occurrences)[:top])

@@ -1,0 +1,10 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each module exposes ``run(scale=1.0, seed=...) -> ExperimentResult``; the
+``runner`` CLI executes them by id (``fig1`` .. ``fig13``, ``table1``,
+``table2``, ``sec32``).  ``scale`` shrinks request counts for quick runs.
+"""
+
+from repro.experiments.base import ExperimentResult, EXPERIMENTS, get_experiment
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "get_experiment"]

@@ -1,0 +1,66 @@
+"""Experiment result container and registry."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.report import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure reproduction."""
+
+    exp_id: str
+    title: str
+    rows: List[Dict] = field(default_factory=list)
+    #: Free-form commentary: paper expectation vs. measured outcome.
+    notes: List[str] = field(default_factory=list)
+    #: Extra named row groups for multi-panel figures.
+    panels: Dict[str, List[Dict]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"== {self.exp_id}: {self.title} =="]
+        if self.rows:
+            parts.append(format_table(self.rows))
+        for name, rows in self.panels.items():
+            parts.append("")
+            parts.append(format_table(rows, title=f"-- {name} --"))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+
+#: exp id -> (module, paper artifact description).
+EXPERIMENTS = {
+    "fig1": ("repro.experiments.fig1_cpi_distributions", "Figure 1: request CPI distributions, 1-core vs 4-core"),
+    "fig2": ("repro.experiments.fig2_intra_request", "Figure 2: intra-request behavior variation examples"),
+    "table1": ("repro.experiments.table1_sampling_cost", "Table 1: per-sample cost and observer effect"),
+    "fig3": ("repro.experiments.fig3_captured_variation", "Figure 3: captured inter/intra-request variations"),
+    "fig4": ("repro.experiments.fig4_syscall_distances", "Figure 4: next-syscall distance CDFs"),
+    "fig5": ("repro.experiments.fig5_sampling_overhead", "Figure 5: syscall-triggered vs interrupt sampling overhead"),
+    "table2": ("repro.experiments.table2_transition_signals", "Table 2: syscall-name to CPI-change mappings"),
+    "sec32": ("repro.experiments.sec32_transition_sampling", "Section 3.2: transition-signal sampling CoV gain"),
+    "fig6": ("repro.experiments.fig6_drift_example", "Figure 6: similar TPCC requests drifting apart"),
+    "fig7": ("repro.experiments.fig7_classification", "Figure 7: request classification quality by measure"),
+    "fig8": ("repro.experiments.fig8_anomaly_tpch", "Figure 8: TPCH anomaly vs reference"),
+    "fig9": ("repro.experiments.fig9_anomaly_webwork", "Figure 9: WeBWorK multi-metric anomaly pair"),
+    "fig10": ("repro.experiments.fig10_online_identification", "Figure 10: online signature identification accuracy"),
+    "fig11": ("repro.experiments.fig11_prediction", "Figure 11: online behavior prediction RMS errors"),
+    "fig12": ("repro.experiments.fig12_contention_reduction", "Figure 12: high-contention co-execution time"),
+    "fig13": ("repro.experiments.fig13_cpi_scheduling", "Figure 13: request CPI under contention-easing scheduling"),
+}
+
+
+def get_experiment(exp_id: str):
+    """Import and return the experiment module for ``exp_id``."""
+    try:
+        module_name, _ = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return importlib.import_module(module_name)

@@ -1,0 +1,81 @@
+"""Shared helpers for experiment modules."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.hardware.platform import WOODCREST, serial_machine
+from repro.kernel.sampling import SamplingPolicy
+from repro.kernel.simulator import ServerSimulator, SimConfig, SimResult
+from repro.workloads.registry import SERVER_APPS, make_workload
+
+#: Default 4-core request counts per application, sized so each experiment
+#: finishes in seconds while providing stable statistics.  The paper's runs
+#: are larger (e.g. 1000-request scheduling runs); pass ``scale > 1`` to
+#: approach them.
+DEFAULT_REQUESTS = {
+    "webserver": 400,
+    "tpcc": 400,
+    "tpch": 80,
+    "rubis": 160,
+    "webwork": 40,
+}
+
+#: Figure 3 / Section 3.1 sampling frequencies per application.
+SAMPLING_PERIOD_US = {
+    "webserver": 10.0,
+    "tpcc": 100.0,
+    "tpch": 1000.0,
+    "rubis": 100.0,
+    "webwork": 1000.0,
+}
+
+
+def scaled(count: int, scale: float, minimum: int = 4) -> int:
+    return max(minimum, int(math.ceil(count * scale)))
+
+
+def simulate(
+    app: str,
+    num_requests: int,
+    seed: int,
+    cores: int = 4,
+    concurrency: Optional[int] = None,
+    sampling: Optional[SamplingPolicy] = None,
+    **config_overrides,
+) -> SimResult:
+    """Run one workload with per-application defaults."""
+    workload = make_workload(app)
+    if sampling is None:
+        sampling = SamplingPolicy.interrupt(
+            SAMPLING_PERIOD_US.get(app, workload.sampling_period_us)
+        )
+    if cores == 4:
+        machine = WOODCREST
+        concurrency = concurrency if concurrency is not None else 8
+    elif cores == 1:
+        machine = serial_machine()
+        concurrency = concurrency if concurrency is not None else 1
+    else:
+        raise ValueError("cores must be 1 or 4")
+    config = SimConfig(
+        machine=machine,
+        sampling=sampling,
+        num_requests=num_requests,
+        concurrency=concurrency,
+        seed=seed,
+        **config_overrides,
+    )
+    return ServerSimulator(workload, config).run()
+
+
+def standard_run(app: str, scale: float, seed: int, cores: int = 4) -> SimResult:
+    """The canonical characterization run for one application."""
+    base = DEFAULT_REQUESTS[app]
+    count = scaled(base if cores == 4 else base // 3, scale)
+    return simulate(app, num_requests=count, seed=seed, cores=cores)
+
+
+def all_apps():
+    return SERVER_APPS

@@ -1,0 +1,130 @@
+"""Figure 10: online request signature identification and CPU prediction.
+
+A bank of representative request signatures — the variation pattern of L2
+references per instruction, a metric reflecting inherent behavior rather
+than dynamic L2 contention — is matched (L1 distance, the cheap online
+choice) against the partial pattern of each new request at increasing
+execution prefixes.  The matched signature predicts whether the request's
+CPU usage will exceed the workload median.
+
+Three approaches are compared: (1) the conventional transparent baseline —
+predict from the average CPU usage of the 10 most recent completed
+requests; (2) average-metric-value signatures (the paper's prior work);
+(3) variation-pattern signatures.  Expectations: variation signatures cut
+the prediction error by ~10 percentage points or more vs. average-value
+signatures for web, TPCC, TPCH, RUBiS; for WeBWorK *both* signature forms
+stay poor because all requests share identical processing semantics for
+the first ~10 M instructions (out of several hundred million).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distances import unequal_length_penalty
+from repro.core.signatures import RecentPastPredictor, SignatureBank, prediction_error_curve
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import all_apps, scaled, simulate
+
+#: Progress unit per application (instructions), matching the paper's
+#: per-application x-axes; prefixes run 1..10 units.
+PROGRESS_UNIT = {
+    "webserver": 10_000,
+    "tpcc": 300_000,
+    "tpch": 1_000_000,
+    "rubis": 200_000,
+    "webwork": 1_000_000,
+}
+
+#: Bank size (the paper collects 500 representative signatures; scaled).
+_BANK = 120
+_TEST = 120
+
+METRIC = "l2_refs_per_ins"
+
+
+def evaluate_app(app: str, scale: float, seed: int):
+    """Error-vs-progress curves for the three approaches on one app."""
+    bank_n = scaled(_BANK, scale, minimum=30)
+    test_n = scaled(_TEST, scale, minimum=30)
+    sim = simulate(app, num_requests=bank_n + test_n, seed=seed)
+    traces = sim.traces
+    unit = PROGRESS_UNIT[app]
+
+    patterns = [t.series(METRIC, unit).values for t in traces]
+    cpu_times = np.array([t.cpu_time_us() for t in traces])
+    threshold = float(np.median(cpu_times))
+
+    bank_idx = list(range(bank_n))
+    test_idx = list(range(bank_n, len(traces)))
+    rng = np.random.default_rng(seed)
+    penalty = unequal_length_penalty(
+        np.concatenate([patterns[i] for i in bank_idx]), rng
+    )
+
+    banks = {
+        "variation": SignatureBank(penalty=penalty, method="variation"),
+        "average": SignatureBank(penalty=penalty, method="average"),
+    }
+    for i in bank_idx:
+        for bank in banks.values():
+            bank.add(patterns[i], cpu_times[i])
+
+    prefix_lengths = list(range(1, 11))
+    curves = {}
+    for name, bank in banks.items():
+        curves[name] = prediction_error_curve(
+            bank,
+            [patterns[i] for i in test_idx],
+            [cpu_times[i] for i in test_idx],
+            threshold,
+            prefix_lengths,
+        )
+
+    # Conventional baseline: average CPU usage of 10 recent past requests
+    # (evaluated in completion order; constant across progress points).
+    recent = RecentPastPredictor(window=10)
+    wrong = 0
+    for i in test_idx:
+        predicted = recent.predict_cpu_above(threshold)
+        actual = cpu_times[i] > threshold
+        if predicted is None:
+            predicted = False
+        wrong += predicted != actual
+        recent.observe_completion(cpu_times[i])
+    curves["past_requests"] = np.full(len(prefix_lengths), wrong / len(test_idx))
+    return curves, prefix_lengths
+
+
+def run(scale: float = 1.0, seed: int = 131) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig10",
+        title="Online signature identification: CPU-usage prediction error",
+    )
+    summary = {}
+    for app in all_apps():
+        curves, prefixes = evaluate_app(app, scale, seed)
+        for name, curve in curves.items():
+            row = {"app": app, "approach": name}
+            for k, err in zip(prefixes, curve):
+                row[f"p{k}"] = 100.0 * float(err)
+            result.rows.append(row)
+        summary[app] = (
+            float(np.mean(curves["average"])) - float(np.mean(curves["variation"]))
+        )
+    result.notes.append(
+        "columns p1..p10 are prediction error (%) after 1..10 progress "
+        "units of observed execution (units per app as in the paper)"
+    )
+    result.notes.append(
+        "paper: variation signatures reduce error by ~10 points or more vs "
+        "average-value signatures for web/TPCC/TPCH/RUBiS; measured "
+        "mean-error reductions: "
+        + ", ".join(f"{app}={100 * gain:.0f}pp" for app, gain in summary.items())
+    )
+    result.notes.append(
+        "paper: for WeBWorK both signature forms are poor — requests follow "
+        "identical semantics for the first 10M instructions, so early "
+        "signatures cannot identify them"
+    )
+    return result

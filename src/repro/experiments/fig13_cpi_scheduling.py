@@ -1,0 +1,59 @@
+"""Figure 13: request CPI under contention-easing CPU scheduling.
+
+Average and worst-case (99 and 99.9-percentile) request CPI under the
+original and the contention-easing scheduler.  Expectation: the
+contention-easing scheduler reduces the worst-case request CPI by around
+10% for both applications but does little for the average — its policy
+targets the rare, most intensive resource contention, which is what
+matters for service-level agreements on high-percentile performance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.sched_runs import APPS, pooled_cpi_stats, scheduling_runs
+
+
+def run(scale: float = 1.0, seed: int = 151) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig13",
+        title="Request CPI (average / 99-pct / 99.9-pct) by scheduler",
+    )
+    summary = {}
+    for app in APPS:
+        runs = scheduling_runs(app, scale, seed)
+        orig = pooled_cpi_stats(runs["original"])
+        eased = pooled_cpi_stats(runs["contention_easing"])
+        for label, o, e in zip(("average", "p99", "p99.9", "max"), orig, eased):
+            result.rows.append(
+                {
+                    "app": app,
+                    "statistic": label,
+                    "original": o,
+                    "contention_easing": e,
+                    "change_pct": 100.0 * (e / o - 1.0),
+                }
+            )
+        summary[app] = (eased[0] / orig[0] - 1.0, eased[2] / orig[2] - 1.0)
+    result.notes.append(
+        "paper: contention easing reduces worst-case request CPI by ~10% "
+        "while doing little for the average; measured (avg, p99.9): "
+        + ", ".join(
+            f"{app}=({100 * a:+.1f}%, {100 * w:+.1f}%)"
+            for app, (a, w) in summary.items()
+        )
+    )
+    result.notes.append(
+        "paper: mixed result is expected — the policy focuses on worst-case "
+        "contention, prediction errors persist, and many variation stages "
+        "are finer-grained than the scheduling quantum"
+    )
+    result.notes.append(
+        "deviation: our worst-case improvement is smaller than the paper's "
+        "~10% — the simulated contention model saturates (capped miss "
+        "ratio, bounded bus inflation) where real front-side-bus "
+        "saturation makes quad-high coincidences catastrophic, so there is "
+        "less worst-case CPI for the scheduler to recover even though the "
+        "co-execution reduction itself (Figure 12) fully reproduces"
+    )
+    return result

@@ -1,0 +1,86 @@
+"""Figure 1: per-request CPI distributions, 1-core serial vs 4-core.
+
+Paper expectation: under serial execution each application's requests show
+tightly clustered CPI (TPCC multi-modal over its transaction types); under
+4-core concurrent execution the distributions spread and the 90-percentile
+CPI degrades in an application-dependent way — roughly doubling for TPCH
+while WeBWorK is essentially unaffected.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import format_series_plot
+from repro.analysis.stats import histogram
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import all_apps, standard_run
+
+#: Histogram bin widths per application, as printed on the paper's plots.
+BIN_WIDTHS = {
+    "webserver": 0.1,
+    "tpcc": 0.1,
+    "tpch": 0.2,
+    "rubis": 0.1,
+    "webwork": 0.02,
+}
+
+
+def run(scale: float = 1.0, seed: int = 11) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig1",
+        title="Per-request CPI distributions: 1-core serial vs 4-core concurrent",
+    )
+    for app in all_apps():
+        serial = standard_run(app, scale, seed, cores=1)
+        multi = standard_run(app, scale, seed + 1, cores=4)
+        cpi_serial = serial.request_cpis()
+        cpi_multi = multi.request_cpis()
+        p90_serial = float(np.percentile(cpi_serial, 90))
+        p90_multi = float(np.percentile(cpi_multi, 90))
+        width = BIN_WIDTHS[app]
+        lo = np.floor(min(cpi_serial.min(), cpi_multi.min()) / width) * width
+        hi = np.ceil(max(cpi_serial.max(), cpi_multi.max()) / width) * width
+        hist_serial = histogram(cpi_serial, lo, hi, width)
+        hist_multi = histogram(cpi_multi, lo, hi, width)
+        result.rows.append(
+            {
+                "app": app,
+                "n_serial": cpi_serial.size,
+                "n_4core": cpi_multi.size,
+                "mean_1core": float(cpi_serial.mean()),
+                "mean_4core": float(cpi_multi.mean()),
+                "p90_1core": p90_serial,
+                "p90_4core": p90_multi,
+                "p90_ratio": p90_multi / p90_serial,
+                "std_1core": float(cpi_serial.std()),
+                "std_4core": float(cpi_multi.std()),
+                "peak_prob_1core": float(hist_serial.probabilities.max()),
+                "peak_prob_4core": float(hist_multi.probabilities.max()),
+            }
+        )
+        result.notes.append(
+            "\n"
+            + format_series_plot(
+                {
+                    "1-core": hist_serial.probabilities,
+                    "4-core": hist_multi.probabilities,
+                },
+                width=56,
+                height=8,
+                title=f"{app}: request CPI probability ({width}-wide bins)",
+                x_labels=[f"{lo:.1f}", f"{hi:.1f}"],
+            )
+        )
+    ratios = {row["app"]: row["p90_ratio"] for row in result.rows}
+    result.notes.append(
+        "paper: multicore obfuscation is application-dependent — it roughly "
+        "doubles TPCH's 90-percentile CPI while WeBWorK sees no significant "
+        f"impact; measured ratios: tpch={ratios['tpch']:.2f}, "
+        f"webwork={ratios['webwork']:.2f}"
+    )
+    result.notes.append(
+        "paper: serial distributions are tightly clustered; 4-core "
+        "distributions are much less clustered (see std columns)"
+    )
+    return result

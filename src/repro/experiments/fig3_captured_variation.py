@@ -1,0 +1,43 @@
+"""Figure 3: captured request behavior variations on three metrics.
+
+For each application, the coefficient of variation (Equation 1) of CPU
+cycles per instruction, L2 references per instruction, and L2 misses per
+reference is computed twice: treating every request as one uniform period
+(inter-request only), and using every sampled execution period (adding
+intra-request fluctuation).  Expectation: considering intra-request
+fluctuation yields much stronger variation for every application *except*
+TPCH, whose queries behave uniformly over long data sequences.
+"""
+
+from __future__ import annotations
+
+from repro.core.variation import captured_variation, inter_request_variation
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import all_apps, standard_run
+
+METRICS = ("cpi", "l2_refs_per_ins", "l2_miss_ratio")
+
+
+def run(scale: float = 1.0, seed: int = 41) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig3",
+        title="Captured variations: inter-request vs with intra-request (CoV)",
+    )
+    gains = {}
+    for app in all_apps():
+        sim = standard_run(app, scale, seed, cores=4)
+        row = {"app": app}
+        for metric in METRICS:
+            inter = inter_request_variation(sim.traces, metric)
+            intra = captured_variation(sim.traces, metric)
+            row[f"{metric}:inter"] = inter
+            row[f"{metric}:with_intra"] = intra
+        gains[app] = row["cpi:with_intra"] / max(row["cpi:inter"], 1e-9)
+        result.rows.append(row)
+    result.notes.append(
+        "paper: intra-request fluctuations add much stronger variation for "
+        "all applications except TPCH (uniform per-query behavior); measured "
+        "CPI CoV gain factors: "
+        + ", ".join(f"{app}={gains[app]:.2f}x" for app in gains)
+    )
+    return result

@@ -1,0 +1,116 @@
+"""Figure 5: overhead of syscall-triggered vs interrupt-based sampling.
+
+For a fair comparison the syscall-triggered sampler's timings
+(Tsyscall_min, Tbackup_int) are tuned per application until it produces a
+similar overall sampling frequency as the interrupt-based sampler; the
+overhead of each run is then the sample count times the measured
+per-sample cost (Mbench-Spin row of Table 1).  Expectation: the
+syscall-triggered approach saves 18-38% of sampling overhead, because
+in-kernel samples avoid the interrupt's extra user/kernel domain switch
+while apps with long syscall-free stretches (TPCC, WeBWorK) still need
+some backup interrupts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import (
+    DEFAULT_REQUESTS,
+    SAMPLING_PERIOD_US,
+    all_apps,
+    scaled,
+    simulate,
+)
+from repro.kernel.sampling import SamplingPolicy
+
+
+def _added_samples(stats) -> int:
+    return stats.in_kernel_samples + stats.interrupt_samples
+
+
+def matched_syscall_run(app, num_requests, seed, period_us, target_samples,
+                        backup_factor=2.0, tolerance=0.08, max_tuning_rounds=8):
+    """Tune Tsyscall_min (with Tbackup_int = backup_factor x Tsyscall_min)
+    until the syscall-triggered sampler matches the target sample count.
+
+    Coupling the backup delay to the syscall threshold means applications
+    with long syscall-free stretches (TPCC, WeBWorK) automatically fall
+    back to backup interrupts for a larger share of their samples — which
+    is exactly what erodes part of the in-kernel cost advantage.
+    """
+    t_min = 0.7 * period_us
+    run = None
+    for _ in range(max_tuning_rounds):
+        policy = SamplingPolicy.syscall_triggered(
+            t_syscall_min_us=t_min, t_backup_int_us=backup_factor * t_min
+        )
+        run = simulate(
+            app, num_requests=num_requests, seed=seed, sampling=policy
+        )
+        produced = _added_samples(run.sampler_stats)
+        ratio = produced / max(target_samples, 1)
+        if abs(ratio - 1.0) <= tolerance:
+            break
+        t_min = max(0.01 * period_us, t_min * ratio)
+    return run, t_min
+
+
+def run(scale: float = 1.0, seed: int = 61) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig5",
+        title="Sampling overhead: syscall-triggered vs interrupt-based",
+    )
+    savings = {}
+    for app in all_apps():
+        n = scaled(DEFAULT_REQUESTS[app], scale)
+        period = SAMPLING_PERIOD_US[app]
+        interrupt_run = simulate(
+            app,
+            num_requests=n,
+            seed=seed,
+            sampling=SamplingPolicy.interrupt(period),
+        )
+        cost_model = interrupt_run.config.cost_model
+        int_samples = _added_samples(interrupt_run.sampler_stats)
+        int_overhead = interrupt_run.sampler_stats.overhead_cycles(cost_model)
+        busy = float(interrupt_run.busy_cycles_per_core.sum())
+
+        sys_run, t_min = matched_syscall_run(
+            app, n, seed, period, target_samples=int_samples
+        )
+        sys_samples = _added_samples(sys_run.sampler_stats)
+        sys_overhead = sys_run.sampler_stats.overhead_cycles(cost_model)
+
+        normalized = sys_overhead / int_overhead
+        savings[app] = 1.0 - normalized
+        result.rows.append(
+            {
+                "app": app,
+                "period_us": period,
+                "interrupt_samples": int_samples,
+                "syscall_samples": sys_samples,
+                "backup_interrupts": sys_run.sampler_stats.interrupt_samples,
+                "t_syscall_min_us": t_min,
+                "base_cost_pct": 100.0 * int_overhead / busy,
+                "normalized_overhead": normalized,
+                "savings_pct": 100.0 * savings[app],
+            }
+        )
+    result.notes.append(
+        "paper: system call-triggered sampling saves 18-38% overhead across "
+        "the five applications; measured savings: "
+        + ", ".join(f"{app}={100 * savings[app]:.0f}%" for app in savings)
+    )
+    result.notes.append(
+        "paper: base interrupt-sampling costs range from 0.02% to 5.81% of "
+        "CPU consumption depending on request granularity and sampling "
+        "frequency (web server highest at once per 10us)"
+    )
+    result.notes.append(
+        "deviation: syscall-saturated applications (TPCH, RUBiS) reach the "
+        "theoretical 44% ceiling (in-kernel/interrupt cost ratio 1270/2276) "
+        "because our tuned Tbackup_int leaves them virtually no backup "
+        "interrupts; the paper's unpublished timer settings evidently "
+        "retained a larger backup share, capping its savings at 38%"
+    )
+    return result

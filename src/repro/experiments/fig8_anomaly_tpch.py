@@ -1,0 +1,157 @@
+"""Figure 8: anomaly detection within a TPCH query group (Q20).
+
+All requests processing the same SQL query share application-level
+semantics and instruction streams, so the member farthest (by DTW with
+asynchrony penalty on its CPI variation pattern) from the group centroid is
+a suspected anomaly, with the centroid as its reference.  Paper
+expectations: the anomaly exhibits higher CPI for much of its execution;
+its CPI increases match its L2-misses-per-instruction increases (shared-L2
+contention is the cause); and its L2 *reference* rate shows some increase
+too — evidence of software-level contention (e.g. lock retries) adding
+instructions and references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.anomaly import detect_by_centroid_distance
+from repro.core.distances import unequal_length_penalty
+from repro.core.dtw import dtw_distance
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import scaled
+from repro.kernel.sampling import SamplingPolicy
+from repro.kernel.simulator import ServerSimulator, SimConfig
+
+WINDOW = 1_000_000  # instructions
+
+
+class _FocusMixWorkload:
+    """Mixed TPC-H stream with an elevated share of one focus query.
+
+    Anomalies arise from *heterogeneous* co-execution: a Q20 that happens
+    to share the machine with heavy scans suffers, one that co-runs with
+    light aggregates does not.  A pure same-query population would see
+    uniform pressure and produce no slow outlier.
+    """
+
+    LIGHT = ("Q2", "Q11", "Q22")
+    HEAVY = "Q9"
+
+    def __init__(self, focus: str, focus_probability: float = 0.12,
+                 heavy_probability: float = 0.03):
+        from repro.workloads.tpch import TpchWorkload
+
+        self._inner = TpchWorkload()
+        self._focus = focus
+        self._p_focus = focus_probability
+        self._p_heavy = heavy_probability
+        self.name = f"tpch_focus_{focus}"
+        self.sampling_period_us = self._inner.sampling_period_us
+
+    def sample_request(self, rng, request_id):
+        u = rng.random()
+        if u < self._p_focus:
+            kind = self._focus
+        elif u < self._p_focus + self._p_heavy:
+            kind = self.HEAVY  # scan-heavy antagonist
+        else:
+            kind = self.LIGHT[int(rng.integers(len(self.LIGHT)))]
+        return self._inner.build_query(rng, request_id, kind)
+
+
+def collect_group(kind: str = "Q20", n: int = 120, seed: int = 7):
+    """Run a mixed TPCH stream and return (run, indices of `kind` traces)."""
+    config = SimConfig(
+        sampling=SamplingPolicy.interrupt(1000.0),
+        num_requests=n,
+        concurrency=4,
+        seed=seed,
+    )
+    sim = ServerSimulator(_FocusMixWorkload(kind), config).run()
+    indices = [i for i, t in enumerate(sim.traces) if t.spec.kind == kind]
+    return sim, indices
+
+
+def run(scale: float = 1.0, seed: int = 7) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig8",
+        title="TPCH anomaly vs group-centroid reference (Q20)",
+    )
+    sim, group = collect_group(n=scaled(120, scale, minimum=50), seed=seed)
+    traces = sim.traces
+    cpi_series = [t.series("cpi", WINDOW).values for t in traces]
+    rng = np.random.default_rng(seed)
+    penalty = unequal_length_penalty(
+        np.concatenate([cpi_series[i] for i in group]), rng
+    )
+
+    cases = detect_by_centroid_distance(
+        groups={"Q20": group},
+        sequences=cpi_series,
+        distance=lambda a, b: dtw_distance(a, b, asynchrony_penalty=penalty),
+        top_per_group=len(group) - 1,
+    )
+    # Centroid distance flags outliers on both sides (unlucky slow requests
+    # and lucky fast ones).  The paper's analysis concerns worst-case
+    # performance, so analyze the slowest member against the centroid
+    # reference, and report where the detector ranked it.
+    case = max(cases, key=lambda c: traces[c.anomaly_index].overall_cpi())
+    rank = cases.index(case) + 1
+    anomaly = traces[case.anomaly_index]
+    reference = traces[case.reference_index]
+
+    rows = []
+    comparisons = {}
+    for metric in ("cpi", "l2_miss_per_ins", "l2_refs_per_ins"):
+        a = anomaly.series(metric, WINDOW).values
+        r = reference.series(metric, WINDOW).values
+        n = min(a.size, r.size)
+        ratio = float(np.mean(a[:n] / np.maximum(r[:n], 1e-12)))
+        frac_higher = float(np.mean(a[:n] > r[:n]))
+        comparisons[metric] = (ratio, frac_higher)
+        rows.append(
+            {
+                "metric": metric,
+                "anomaly_mean": float(a.mean()),
+                "reference_mean": float(r.mean()),
+                "mean_ratio": ratio,
+                "frac_windows_higher": frac_higher,
+            }
+        )
+    result.rows = rows
+
+    # Correlation between the CPI excess and the miss-per-ins excess.
+    a_cpi = anomaly.series("cpi", WINDOW).values
+    r_cpi = reference.series("cpi", WINDOW).values
+    a_mpi = anomaly.series("l2_miss_per_ins", WINDOW).values
+    r_mpi = reference.series("l2_miss_per_ins", WINDOW).values
+    n = min(a_cpi.size, r_cpi.size, a_mpi.size, r_mpi.size)
+    cpi_excess = a_cpi[:n] - r_cpi[:n]
+    mpi_excess = a_mpi[:n] - r_mpi[:n]
+    corr = float(np.corrcoef(cpi_excess, mpi_excess)[0, 1])
+
+    result.notes.append(
+        "paper: the anomalous request exhibits poor performance (higher CPI) "
+        "for much of its execution; measured: anomaly CPI higher in "
+        f"{comparisons['cpi'][1]:.0%} of windows (mean ratio "
+        f"{comparisons['cpi'][0]:.2f})"
+    )
+    result.notes.append(
+        "paper: anomalous CPI increases match the L2 misses-per-instruction "
+        f"increases; measured excess correlation r={corr:.2f}"
+    )
+    result.notes.append(
+        "paper: some increase of the L2 reference rate during anomalous "
+        "TPCH executions (software-level contention / L1 coherence misses); "
+        f"measured refs/ins mean ratio {comparisons['l2_refs_per_ins'][0]:.3f}"
+    )
+    result.notes.append(
+        f"anomaly request id {anomaly.spec.request_id} (overall CPI "
+        f"{anomaly.overall_cpi():.2f}) vs centroid reference id "
+        f"{reference.spec.request_id} (overall CPI "
+        f"{reference.overall_cpi():.2f}); the detector ranks the anomaly "
+        f"{rank}/{len(cases)} by centroid distance "
+        f"(DTW+penalty {case.score:.1f})"
+    )
+    return result

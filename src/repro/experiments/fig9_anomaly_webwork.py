@@ -1,0 +1,104 @@
+"""Figure 9: WeBWorK anomaly found by multi-metric differencing.
+
+The search targets adverse effects of dynamic concurrent executions on the
+L2-cache-sharing multicore: request pairs that look *alike* on L2
+references per instruction (the same reference stream to the shared
+resource — both process WeBWorK problem 954) yet *differ* on CPI.  The
+paper uses DTW with the asynchrony penalty as the differencing measure.
+Expectations: the anomaly's CPI is higher in certain regions of execution;
+those regions line up with its L2 misses-per-instruction excess; and —
+unlike the TPCH case — the reference-rate patterns stay very similar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.anomaly import detect_multi_metric_pairs
+from repro.core.distances import unequal_length_penalty
+from repro.core.dtw import dtw_distance
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import scaled
+from repro.kernel.sampling import SamplingPolicy
+from repro.kernel.simulator import ServerSimulator, SimConfig
+from repro.workloads.registry import FixedKindWorkload
+
+WINDOW = 2_000_000  # instructions
+PROBLEM = 954
+
+
+def collect_group(n: int, seed: int):
+    """A population of requests all rendering WeBWorK problem 954."""
+    workload = FixedKindWorkload("webwork", f"problem_{PROBLEM}")
+    config = SimConfig(
+        sampling=SamplingPolicy.interrupt(1000.0),
+        num_requests=n,
+        concurrency=8,
+        seed=seed,
+    )
+    return ServerSimulator(workload, config).run()
+
+
+def run(scale: float = 1.0, seed: int = 121) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="fig9",
+        title=f"WeBWorK multi-metric anomaly pair (problem {PROBLEM})",
+    )
+    sim = collect_group(n=scaled(14, scale, minimum=8), seed=seed)
+    traces = sim.traces
+    refs_series = [t.series("l2_refs_per_ins", WINDOW).values for t in traces]
+    cpi_series = [t.series("cpi", WINDOW).values for t in traces]
+    rng = np.random.default_rng(seed)
+    refs_penalty = unequal_length_penalty(np.concatenate(refs_series), rng)
+    cpi_penalty = unequal_length_penalty(np.concatenate(cpi_series), rng)
+
+    cases = detect_multi_metric_pairs(
+        refs_series,
+        cpi_series,
+        ref_distance=lambda a, b: dtw_distance(a, b, asynchrony_penalty=refs_penalty),
+        cpi_distance=lambda a, b: dtw_distance(a, b, asynchrony_penalty=cpi_penalty),
+        ref_similarity_quantile=25.0,
+        top_pairs=1,
+    )
+    case = cases[0]
+    anomaly = traces[case.anomaly_index]
+    reference = traces[case.reference_index]
+
+    for metric in ("cpi", "l2_miss_per_ins", "l2_refs_per_ins"):
+        a = anomaly.series(metric, WINDOW).values
+        r = reference.series(metric, WINDOW).values
+        n = min(a.size, r.size)
+        result.rows.append(
+            {
+                "metric": metric,
+                "anomaly_mean": float(a.mean()),
+                "reference_mean": float(r.mean()),
+                "mean_ratio": float(np.mean(a[:n] / np.maximum(r[:n], 1e-12))),
+                "frac_windows_higher": float(np.mean(a[:n] > r[:n])),
+            }
+        )
+
+    a_cpi = anomaly.series("cpi", WINDOW).values
+    r_cpi = reference.series("cpi", WINDOW).values
+    a_mpi = anomaly.series("l2_miss_per_ins", WINDOW).values
+    r_mpi = reference.series("l2_miss_per_ins", WINDOW).values
+    n = min(a_cpi.size, r_cpi.size, a_mpi.size, r_mpi.size)
+    corr = float(
+        np.corrcoef(a_cpi[:n] - r_cpi[:n], a_mpi[:n] - r_mpi[:n])[0, 1]
+    )
+    refs_row = result.rows[2]
+    result.notes.append(
+        "paper: the anomalous request exhibits higher CPI in certain regions "
+        "of execution, and those CPI increases match the L2 misses-per-"
+        f"instruction pattern; measured excess correlation r={corr:.2f}"
+    )
+    result.notes.append(
+        "paper: for WeBWorK (unlike TPCH) the anomaly-reference pair's L2 "
+        "reference patterns stay very similar; measured refs/ins mean ratio "
+        f"{refs_row['mean_ratio']:.3f}"
+    )
+    result.notes.append(
+        f"anomaly request id {anomaly.spec.request_id}, reference id "
+        f"{reference.spec.request_id} (both problem {PROBLEM})"
+    )
+    return result

@@ -1,0 +1,73 @@
+"""Command-line runner for the paper's tables and figures.
+
+Usage::
+
+    repro-experiments --list
+    repro-experiments fig1 fig3 --scale 0.5
+    repro-experiments all --scale 1.0 --out EXPERIMENTS_RUN.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.base import EXPERIMENTS, get_experiment
+
+
+def run_experiments(exp_ids, scale: float):
+    """Run experiments by id, yielding (exp_id, result, seconds)."""
+    for exp_id in exp_ids:
+        module = get_experiment(exp_id)
+        start = time.perf_counter()
+        result = module.run(scale=scale)
+        yield exp_id, result, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce tables/figures from 'Request Behavior "
+        "Variations' (ASPLOS 2010)",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (fig1..fig13, table1, table2, sec32) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="request-count scale factor (smaller = faster, default 1.0)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--out", help="also append rendered output to this file")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for exp_id, (_, description) in EXPERIMENTS.items():
+            print(f"{exp_id:8s}  {description}")
+        return 0
+
+    exp_ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [e for e in exp_ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+        return 2
+
+    outputs = []
+    for exp_id, result, elapsed in run_experiments(exp_ids, args.scale):
+        text = result.render()
+        print(text)
+        print(f"[{exp_id} finished in {elapsed:.1f}s]\n")
+        outputs.append(text + f"\n[{elapsed:.1f}s]\n")
+    if args.out:
+        with open(args.out, "a") as fh:
+            fh.write("\n\n".join(outputs) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Section 3.2 result: transition-signal sampling captures more variation.
+
+The enhanced sampler restricts syscall triggers to the subset of names most
+correlated with behavior transitions (for Apache: writev, lseek, stat,
+poll).  For a fair comparison both samplers are tuned to the same overall
+sampling frequency, each on its natural knob: the plain syscall-triggered
+sampler on Tsyscall_min (with Tbackup_int = 4x, as in the Figure 5 setup),
+and the enhanced sampler on Tbackup_int (its triggers are sparse and
+already well below the budget, so density comes from the backup timer).
+
+Expectation: at matched frequency the transition-aligned samples partition
+execution at behavior boundaries, so the coefficient of variation of the
+produced samples increases (the paper measures 0.60 -> 0.65).
+"""
+
+from __future__ import annotations
+
+from repro.core.variation import captured_variation
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import scaled, simulate
+from repro.kernel.sampling import SamplingPolicy
+
+#: The paper's selected trigger subset for the Apache web server.
+WEB_TRIGGERS = ("writev", "lseek", "stat", "poll")
+
+#: Sampling budget: one sample per this many microseconds of execution.
+TARGET_PERIOD_US = 20.0
+
+
+def _added(stats) -> int:
+    return stats.in_kernel_samples + stats.interrupt_samples
+
+
+def _tune(make_policy, initial: float, target: int, runner, rounds=8, tol=0.10):
+    """Multiplicatively adjust one timing knob until counts match."""
+    knob = initial
+    run = None
+    for _ in range(rounds):
+        run = runner(make_policy(knob))
+        ratio = _added(run.sampler_stats) / max(target, 1)
+        if abs(ratio - 1.0) <= tol:
+            break
+        # Longer delays -> fewer samples, so scale the knob *up* when
+        # oversampling.
+        knob = max(0.5, min(500.0, knob * ratio))
+    return run, knob
+
+
+def run(scale: float = 1.0, seed: int = 81) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="sec32",
+        title="Captured CPI variation: syscall-triggered vs transition-signal",
+    )
+    n = scaled(400, scale)
+
+    def runner(policy):
+        return simulate("webserver", num_requests=n, seed=seed, sampling=policy)
+
+    # Estimate the sample budget from total busy time.
+    probe = runner(
+        SamplingPolicy.syscall_triggered(
+            t_syscall_min_us=TARGET_PERIOD_US, t_backup_int_us=4 * TARGET_PERIOD_US
+        )
+    )
+    busy_us = float(probe.busy_cycles_per_core.sum()) / 3000.0
+    target = int(busy_us / TARGET_PERIOD_US)
+
+    plain, t_min_plain = _tune(
+        lambda t: SamplingPolicy.syscall_triggered(
+            t_syscall_min_us=t, t_backup_int_us=4 * t
+        ),
+        initial=TARGET_PERIOD_US,
+        target=target,
+        runner=runner,
+    )
+    enhanced, t_backup_enh = _tune(
+        lambda t: SamplingPolicy.transition_signal(
+            t_syscall_min_us=2.0, t_backup_int_us=max(3.0, t), triggers=WEB_TRIGGERS
+        ),
+        initial=TARGET_PERIOD_US,
+        target=target,
+        runner=runner,
+    )
+
+    cov_plain = captured_variation(plain.traces, "cpi")
+    cov_enhanced = captured_variation(enhanced.traces, "cpi")
+    result.rows.append(
+        {
+            "approach": "syscall-triggered (all names)",
+            "samples": _added(plain.sampler_stats),
+            "tuned_knob_us": t_min_plain,
+            "cpi_cov": cov_plain,
+        }
+    )
+    result.rows.append(
+        {
+            "approach": f"transition-signal {WEB_TRIGGERS}",
+            "samples": _added(enhanced.sampler_stats),
+            "tuned_knob_us": t_backup_enh,
+            "cpi_cov": cov_enhanced,
+        }
+    )
+    result.notes.append(
+        "paper: restricting triggers to behavior-transition syscalls raises "
+        "the captured CoV from 0.60 to 0.65 at matched sampling frequency; "
+        f"measured {cov_plain:.3f} -> {cov_enhanced:.3f} "
+        f"({(cov_enhanced / cov_plain - 1) * 100:+.0f}%)"
+    )
+    return result

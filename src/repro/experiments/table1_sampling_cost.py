@@ -1,0 +1,103 @@
+"""Table 1: per-sample cost and additional counter events.
+
+The measurement follows the paper's methodology: run a microbenchmark with
+and without counter sampling and attribute the difference in raw (un-
+compensated) counters to the samples taken.  Two microbenchmarks bracket
+the cache-pollution range — Mbench-Spin (no data access) and Mbench-Data
+(streams 16 MB, replacing the entire cache state) — and two sampling
+contexts are measured: in-kernel (system-call-triggered) and APIC
+interrupt.  Expectation (paper's Table 1 at 3 GHz):
+
+    in-kernel:  ~0.42 us, ~1270 cycles, ~649 instructions, L2 refs N/M->13
+    interrupt:  ~0.76 us, ~2276 cycles, ~724 instructions, L2 refs N/M->12
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.kernel.sampling import SamplingMode, SamplingPolicy
+from repro.kernel.simulator import ServerSimulator, SimConfig
+from repro.workloads.registry import make_workload
+
+
+def _totals(sim_result):
+    trace = sim_result.traces[0]
+    return {
+        "cycles": float(trace.raw_cycles.sum()),
+        "instructions": float(trace.raw_instructions.sum()),
+        "l2_refs": float(trace.raw_l2_refs.sum()),
+        "l2_misses": float(trace.raw_l2_misses.sum()),
+    }
+
+
+def _run(bench: str, policy: SamplingPolicy, seed: int):
+    config = SimConfig(
+        sampling=policy,
+        num_requests=1,
+        concurrency=1,
+        seed=seed,
+        compensate=False,
+    )
+    return ServerSimulator(make_workload(bench), config).run()
+
+
+def measure(bench: str, context: str, seed: int = 31) -> dict:
+    """Per-sample cost of one sampling context on one microbenchmark."""
+    baseline_policy = SamplingPolicy(mode=SamplingMode.CONTEXT_SWITCH_ONLY)
+    if context == "in_kernel":
+        policy = SamplingPolicy.syscall_triggered(
+            t_syscall_min_us=100.0, t_backup_int_us=1_000_000.0
+        )
+    elif context == "interrupt":
+        policy = SamplingPolicy.interrupt(100.0)
+    else:
+        raise ValueError(f"unknown context {context!r}")
+
+    baseline = _run(bench, baseline_policy, seed)
+    sampled = _run(bench, policy, seed)
+    stats = sampled.sampler_stats
+    n = stats.in_kernel_samples if context == "in_kernel" else stats.interrupt_samples
+    if n == 0:
+        raise RuntimeError(f"no {context} samples taken on {bench}")
+    base_totals = _totals(baseline)
+    samp_totals = _totals(sampled)
+    per_sample = {
+        key: (samp_totals[key] - base_totals[key]) / n for key in base_totals
+    }
+    per_sample["samples"] = n
+    per_sample["time_us"] = per_sample["cycles"] / 3000.0
+    return per_sample
+
+
+def run(scale: float = 1.0, seed: int = 31) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id="table1",
+        title="Per-sample average cost and additional event counts",
+    )
+    for context in ("in_kernel", "interrupt"):
+        for bench in ("mbench_spin", "mbench_data"):
+            m = measure(bench, context, seed=seed)
+            result.rows.append(
+                {
+                    "context": context,
+                    "workload": bench,
+                    "samples": m["samples"],
+                    "time_us": m["time_us"],
+                    "cycles": m["cycles"],
+                    "instructions": m["instructions"],
+                    "l2_refs": m["l2_refs"],
+                    "l2_misses": m["l2_misses"],
+                }
+            )
+    result.notes.append(
+        "paper: in-kernel sampling ~0.42-0.46 us / ~1270-1374 cycles / 649 "
+        "instructions; interrupt sampling ~0.76-0.80 us / ~2276-2388 cycles "
+        "/ 724-734 instructions; L2 refs only measurable under cache "
+        "pollution (Mbench-Data): ~13 (in-kernel) and ~12 (interrupt)"
+    )
+    result.notes.append(
+        "interrupt sampling costs >1000 extra cycles over in-kernel due to "
+        "the user/kernel domain switch — the motivation for system-call-"
+        "triggered sampling (Section 3.2)"
+    )
+    return result

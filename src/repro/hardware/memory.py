@@ -1,0 +1,54 @@
+"""Memory-bus bandwidth model.
+
+All four cores share the front-side bus and memory controller.  The paper
+notes (Section 5.2) that for fine-grained requests without large working
+sets, performance is constrained more by memory bandwidth than by L2 space.
+We model this as an inflation of the effective L2 miss penalty that grows
+with the *other* cores' aggregate miss traffic, so a core suffers from its
+neighbors' bandwidth consumption even across L2 domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryBusModel:
+    """Miss-penalty inflation as a function of co-runner miss traffic."""
+
+    #: Bus-occupancy cycles consumed per L2 miss (line transfer + protocol).
+    cycles_per_miss: float = 24.0
+    #: How strongly bus occupancy by other cores inflates the miss penalty.
+    contention_gamma: float = 1.2
+    #: Queueing-style superlinear term: when several cores miss heavily at
+    #: once, memory requests queue and the per-miss penalty grows faster
+    #: than linearly.  This is what makes *coincidental* co-execution of
+    #: peak-usage periods produce worst-case request outliers (Section 5).
+    contention_beta: float = 0.8
+    #: Occupancy is clamped to this value per co-running core to keep
+    #: penalties finite.
+    max_occupancy: float = 0.9
+    #: Number of cores whose traffic can pile onto the bus (for clamping).
+    machine_cores: int = 4
+
+    def miss_traffic(
+        self, l2_refs_per_ins: float, miss_ratio: float, approx_cpi: float
+    ) -> float:
+        """Bus occupancy fraction contributed by one core's miss stream."""
+        if approx_cpi <= 0:
+            raise ValueError("approx_cpi must be positive")
+        misses_per_cycle = l2_refs_per_ins * miss_ratio / approx_cpi
+        return min(self.max_occupancy, misses_per_cycle * self.cycles_per_miss)
+
+    def effective_miss_penalty(
+        self, base_penalty: float, others_occupancy: float
+    ) -> float:
+        """Effective per-miss penalty given other cores' bus occupancy."""
+        occupancy = max(0.0, others_occupancy)
+        occupancy = min(occupancy, (self.machine_cores - 1) * self.max_occupancy)
+        return base_penalty * (
+            1.0
+            + self.contention_gamma * occupancy
+            + self.contention_beta * occupancy**2
+        )

@@ -1,0 +1,146 @@
+"""Machine topology and clock configuration.
+
+Defaults mirror the paper's testbed: two dual-core Intel Xeon 5160 3.0 GHz
+"Woodcrest" processors, a shared 4 MB L2 per die (16-way, 64-byte lines,
+14-cycle latency), 2 GB of memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of the simulated machine."""
+
+    num_cores: int = 4
+    frequency_ghz: float = 3.0
+    #: Groups of core ids sharing one L2 cache (one tuple per die).
+    l2_domains: tuple = ((0, 1), (2, 3))
+    l2_size_kb: int = 4096
+    l2_line_bytes: int = 64
+    l2_hit_latency_cycles: int = 14
+    #: Average uncontended cycles to service an L2 miss from memory.
+    l2_miss_penalty_cycles: float = 220.0
+    memory_mb: int = 2048
+    #: Groups of core ids sharing one memory bus (one tuple per machine).
+    #: None means a single machine: all cores share one bus.  Distinct bus
+    #: domains model a distributed deployment (the paper's future work):
+    #: cores on different machines contend neither for L2 nor for the bus.
+    bus_domains: tuple = None
+
+    _domain_of: dict = field(init=False, repr=False, compare=False, default=None)
+    _bus_domain_of: dict = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self):
+        domain_of = {}
+        for domain_id, cores in enumerate(self.l2_domains):
+            for core in cores:
+                if core in domain_of:
+                    raise ValueError(f"core {core} listed in two L2 domains")
+                domain_of[core] = domain_id
+        if sorted(domain_of) != list(range(self.num_cores)):
+            raise ValueError("l2_domains must cover exactly cores 0..num_cores-1")
+        object.__setattr__(self, "_domain_of", domain_of)
+
+        if self.bus_domains is None:
+            object.__setattr__(
+                self, "bus_domains", (tuple(range(self.num_cores)),)
+            )
+        bus_domain_of = {}
+        for domain_id, cores in enumerate(self.bus_domains):
+            for core in cores:
+                if core in bus_domain_of:
+                    raise ValueError(f"core {core} listed in two bus domains")
+                bus_domain_of[core] = domain_id
+        if sorted(bus_domain_of) != list(range(self.num_cores)):
+            raise ValueError("bus_domains must cover exactly cores 0..num_cores-1")
+        for l2_cores in self.l2_domains:
+            buses = {bus_domain_of[c] for c in l2_cores}
+            if len(buses) != 1:
+                raise ValueError("an L2 domain cannot span machines")
+        object.__setattr__(self, "_bus_domain_of", bus_domain_of)
+
+    @property
+    def cycles_per_us(self) -> float:
+        return self.frequency_ghz * 1000.0
+
+    def us_to_cycles(self, us: float) -> float:
+        return us * self.cycles_per_us
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return cycles / self.cycles_per_us
+
+    def ms_to_cycles(self, ms: float) -> float:
+        return self.us_to_cycles(ms * 1000.0)
+
+    def l2_domain_of(self, core: int) -> int:
+        """Return the L2 domain (die) id for ``core``."""
+        return self._domain_of[core]
+
+    def l2_peers_of(self, core: int) -> tuple:
+        """Cores sharing an L2 cache with ``core`` (excluding itself)."""
+        domain = self.l2_domains[self.l2_domain_of(core)]
+        return tuple(c for c in domain if c != core)
+
+    def bus_domain_of(self, core: int) -> int:
+        """Return the bus domain (machine) id for ``core``."""
+        return self._bus_domain_of[core]
+
+    def bus_peers_of(self, core: int) -> tuple:
+        """Cores sharing a memory bus with ``core`` (excluding itself)."""
+        domain = self.bus_domains[self.bus_domain_of(core)]
+        return tuple(c for c in domain if c != core)
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.bus_domains)
+
+    def machine_cores(self, machine: int) -> tuple:
+        """Core ids belonging to one machine (bus domain)."""
+        return self.bus_domains[machine]
+
+
+#: The paper's experimental platform.
+WOODCREST = MachineConfig()
+
+
+def serial_machine() -> MachineConfig:
+    """A 1-core machine used for the paper's serial-execution baseline."""
+    return MachineConfig(num_cores=1, l2_domains=((0,),))
+
+
+def cluster_machine(
+    num_machines: int = 2, cores_per_machine: int = 4
+) -> MachineConfig:
+    """Several Woodcrest-like machines as one distributed platform.
+
+    Each machine gets its own L2 dies and its own memory bus; requests
+    contend only with co-located requests (the paper's future-work
+    distributed setting).
+    """
+    if num_machines < 1 or cores_per_machine < 1:
+        raise ValueError("need at least one machine with one core")
+    if cores_per_machine % 2:
+        l2_domains = tuple(
+            (c,) for c in range(num_machines * cores_per_machine)
+        )
+    else:
+        l2_domains = tuple(
+            (base + k, base + k + 1)
+            for machine in range(num_machines)
+            for k in range(0, cores_per_machine, 2)
+            for base in (machine * cores_per_machine,)
+        )
+    bus_domains = tuple(
+        tuple(
+            machine * cores_per_machine + k for k in range(cores_per_machine)
+        )
+        for machine in range(num_machines)
+    )
+    return MachineConfig(
+        num_cores=num_machines * cores_per_machine,
+        l2_domains=l2_domains,
+        bus_domains=bus_domains,
+    )

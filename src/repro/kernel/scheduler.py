@@ -1,0 +1,70 @@
+"""CPU scheduler policy interface and the baseline round-robin scheduler.
+
+The simulator keeps one runqueue per core (the paper's implementation does
+not migrate requests between core runqueues).  Policies are consulted at
+three points: when a core needs a new task (dispatch), when a quantum
+expires, and — for adaptive policies — at periodic rescheduling
+opportunities (at most every 5 ms in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.kernel.task import Task
+
+
+class SchedulerPolicy:
+    """Base policy: FIFO runqueues, fixed quantum, no adaptive resched."""
+
+    #: CPU scheduling quantum.  General-purpose OSes use large quanta to
+    #: avoid frequent cache pollution across context switches; Linux goes
+    #: up to 100 ms (Section 5.2).
+    quantum_us: float = 100_000.0
+    #: Adaptive rescheduling interval (None = only quantum expiries).
+    resched_interval_us: Optional[float] = None
+
+    def on_sample(
+        self, task: Task, instructions: float, l2_misses: float, cycles: float
+    ) -> None:
+        """Counter-sample hook: adaptive policies update predictors here."""
+
+    def pick(
+        self,
+        core_id: int,
+        runqueue: List[Task],
+        running: Dict[int, Optional[Task]],
+    ) -> Optional[int]:
+        """Index into ``runqueue`` of the task to dispatch (None = idle)."""
+        return 0 if runqueue else None
+
+    def should_preempt(
+        self,
+        core_id: int,
+        current: Task,
+        runqueue: List[Task],
+        running: Dict[int, Optional[Task]],
+    ) -> Optional[int]:
+        """At a resched opportunity: runqueue index to switch to, or None.
+
+        The simulator keeps the current request at the head of the local
+        runqueue before each attempt, so returning None resumes the current
+        task without paying any context-switch cache pollution.
+        """
+        return None
+
+
+@dataclass
+class RoundRobinScheduler(SchedulerPolicy):
+    """The baseline ("original") scheduler: FIFO + quantum round-robin."""
+
+    quantum_us: float = 100_000.0
+    resched_interval_us: Optional[float] = None
+    stats: dict = field(default_factory=lambda: {"dispatches": 0})
+
+    def pick(self, core_id, runqueue, running):
+        if runqueue:
+            self.stats["dispatches"] += 1
+            return 0
+        return None

@@ -1,0 +1,649 @@
+"""The server-system simulator: closed-loop requests on a multicore OS.
+
+This is the substitution for the paper's instrumented Linux kernel running
+real server applications.  A closed loop of clients keeps ``concurrency``
+requests in flight; request tasks are scheduled over the simulated cores
+with per-core runqueues and quanta; between OS-visible events every core
+executes its current phase at contention-adjusted rates.  Counter samplers
+run at context switches, periodic interrupts, and (optionally) system-call
+entrances, paying the observer-effect costs of Table 1.  Completed requests
+yield serialized :class:`~repro.kernel.tracker.RequestTrace` timelines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hardware.cache import SharedL2Model
+from repro.hardware.counters import CounterSnapshot, SamplingContext, SamplingCostModel
+from repro.hardware.cpu import CoreState, compute_effective_rates
+from repro.hardware.memory import MemoryBusModel
+from repro.hardware.platform import WOODCREST, MachineConfig
+from repro.kernel.sampling import SamplerStats, SamplingMode, SamplingPolicy
+from repro.kernel.scheduler import RoundRobinScheduler, SchedulerPolicy
+from repro.kernel.syscalls import next_rate_syscall_cycles
+from repro.kernel.task import Task, TaskState
+from repro.kernel.tracker import PeriodRecord, RequestTracker
+from repro.workloads.base import WorkloadGenerator
+
+_INF = float("inf")
+
+
+@dataclass
+class SimConfig:
+    """Configuration for one simulation run."""
+
+    machine: MachineConfig = WOODCREST
+    cache: SharedL2Model = field(default_factory=SharedL2Model)
+    bus: MemoryBusModel = field(default_factory=MemoryBusModel)
+    cost_model: SamplingCostModel = field(default_factory=SamplingCostModel)
+    sampling: SamplingPolicy = field(default_factory=SamplingPolicy)
+    scheduler: Optional[SchedulerPolicy] = None
+    #: Closed-loop client count (requests kept in flight).
+    concurrency: int = 8
+    #: Total requests to complete before the run ends.
+    num_requests: int = 100
+    seed: int = 0
+    #: Subtract the minimum per-sample observer cost from trace counters.
+    compensate: bool = True
+    #: Cycles to refill the entire shared L2 after a context switch to a
+    #: different task (scaled by the incoming phase's footprint).  The paper
+    #: measured an extreme worst case above 12 ms; typical footprints make
+    #: this far smaller.
+    ctx_switch_refill_cycles: float = 4_000_000.0
+    #: When set, the run accounts the wall-clock time during which 0..N
+    #: cores simultaneously execute above this L2 misses-per-instruction
+    #: level (Figure 12's measurement).
+    high_usage_mpi_threshold: Optional[float] = None
+    #: Distributed deployment (the paper's future work): maps a stage tier
+    #: name to the machine (bus domain) hosting it.  Tiers not listed run
+    #: on machine 0.  None keeps the single-machine behavior.
+    tier_placement: Optional[Dict[str, int]] = None
+    #: One-way network latency for a cross-machine stage hand-off.
+    network_delay_us: float = 50.0
+    #: Open-loop mode: when set, requests arrive as a Poisson process at
+    #: this rate instead of the paper's closed loop (``concurrency`` is
+    #: then only the initial in-flight cap and no longer throttles
+    #: admissions).  Useful for latency-vs-load studies.
+    arrival_rate_per_s: Optional[float] = None
+
+
+@dataclass
+class SimResult:
+    """Everything a simulation run produced."""
+
+    workload_name: str
+    config: SimConfig
+    traces: list
+    sampler_stats: SamplerStats
+    scheduler: SchedulerPolicy
+    #: Wall cycles during which exactly k cores ran at high usage.
+    timeline_cycles: np.ndarray
+    wall_cycles: float
+    busy_cycles_per_core: np.ndarray
+
+    def high_usage_fractions(self) -> Dict[str, float]:
+        """Fraction of wall time with >=2, >=3, and all 4 cores at high usage."""
+        total = self.timeline_cycles.sum()
+        if total == 0:
+            return {">=2": 0.0, ">=3": 0.0, "all": 0.0}
+        n = len(self.timeline_cycles) - 1
+        return {
+            ">=2": float(self.timeline_cycles[2:].sum() / total),
+            ">=3": float(self.timeline_cycles[3:].sum() / total) if n >= 3 else 0.0,
+            "all": float(self.timeline_cycles[n] / total),
+        }
+
+    def request_cpis(self) -> np.ndarray:
+        return np.array([t.overall_cpi() for t in self.traces])
+
+
+class _CoreRun:
+    """Per-core mutable runtime state."""
+
+    __slots__ = (
+        "state",
+        "task",
+        "last_task_id",
+        "quantum_end",
+        "next_resched",
+        "next_interrupt",
+        "next_ratecall",
+        "last_sample",
+        "phase_end",
+        "period_start",
+        "period_counters",
+        "period_inj_ik",
+        "period_inj_int",
+    )
+
+    def __init__(self, core_id: int):
+        self.state = CoreState(core_id=core_id)
+        self.task: Optional[Task] = None
+        self.last_task_id: Optional[int] = None
+        self.quantum_end = _INF
+        self.next_resched = _INF
+        self.next_interrupt = _INF
+        self.next_ratecall = _INF
+        self.last_sample = 0.0
+        self.phase_end = _INF
+        self.period_start = 0.0
+        self.period_counters = CounterSnapshot()
+        self.period_inj_ik = 0
+        self.period_inj_int = 0
+
+
+class ServerSimulator:
+    """Discrete-event simulation of one workload on the machine."""
+
+    def __init__(self, workload: WorkloadGenerator, config: SimConfig):
+        if config.concurrency < 1:
+            raise ValueError("concurrency must be at least 1")
+        if config.num_requests < 1:
+            raise ValueError("num_requests must be at least 1")
+        self.workload = workload
+        self.config = config
+        self.machine = config.machine
+        self.policy = config.sampling
+        self.scheduler = config.scheduler or RoundRobinScheduler()
+        self.rng = np.random.default_rng(config.seed)
+        self.tracker = RequestTracker(
+            cost_model=config.cost_model,
+            frequency_ghz=self.machine.frequency_ghz,
+            compensate=config.compensate,
+        )
+        self.stats = SamplerStats()
+        self.now = 0.0
+        self.cores = [_CoreRun(i) for i in range(self.machine.num_cores)]
+        self.runqueues: List[List[Task]] = [[] for _ in self.cores]
+        self.traces: list = []
+        self._admitted = 0
+        self._completed = 0
+        self._next_task_id = 0
+        self._next_home_core = 0
+        self._machine_rr: Dict[int, int] = {}
+        #: Cross-machine hand-offs in flight: (ready_cycle, seq, spec, stage).
+        self._pending_arrivals: list = []
+        self._arrival_seq = 0
+        self._network_delay_cycles = self.machine.us_to_cycles(
+            config.network_delay_us
+        )
+        if config.tier_placement:
+            for tier, machine_id in config.tier_placement.items():
+                if not 0 <= machine_id < self.machine.num_machines:
+                    raise ValueError(
+                        f"tier {tier!r} placed on machine {machine_id}, but "
+                        f"the platform has {self.machine.num_machines}"
+                    )
+        self._timeline = np.zeros(self.machine.num_cores + 1)
+        # Cached cycle conversions.
+        self._quantum_cycles = self.machine.us_to_cycles(self.scheduler.quantum_us)
+        self._resched_cycles = (
+            self.machine.us_to_cycles(self.scheduler.resched_interval_us)
+            if self.scheduler.resched_interval_us
+            else None
+        )
+        self._t_syscall_min_cycles = self.machine.us_to_cycles(
+            self.policy.t_syscall_min_us
+        )
+        self._interrupt_cycles = self.machine.us_to_cycles(
+            self.policy.interrupt_period_us
+        )
+        self._backup_cycles = self.machine.us_to_cycles(self.policy.t_backup_int_us)
+
+    # ------------------------------------------------------------------ API
+
+    def run(self) -> SimResult:
+        if self.config.arrival_rate_per_s:
+            # Open loop: pre-draw the whole Poisson arrival schedule.
+            gap_cycles = (
+                self.machine.frequency_ghz * 1e9 / self.config.arrival_rate_per_s
+            )
+            t = 0.0
+            for _ in range(self.config.num_requests):
+                t += float(self.rng.exponential(gap_cycles))
+                self._defer_admission(t)
+        else:
+            while self._admitted < min(
+                self.config.concurrency, self.config.num_requests
+            ):
+                self._admit()
+        for core in range(len(self.cores)):
+            self._dispatch(core)
+        self._recompute_rates()
+
+        while self._completed < self.config.num_requests:
+            t, core_id, kind = self._next_event()
+            if t == _INF:
+                raise RuntimeError(
+                    f"simulation deadlock at cycle {self.now}: "
+                    f"{self._completed}/{self.config.num_requests} completed"
+                )
+            self._account_timeline(t)
+            self._advance_all(t)
+            self.now = t
+            handler = getattr(self, f"_on_{kind}")
+            handler(core_id)
+
+        return SimResult(
+            workload_name=self.workload.name,
+            config=self.config,
+            traces=self.traces,
+            sampler_stats=self.stats,
+            scheduler=self.scheduler,
+            timeline_cycles=self._timeline,
+            wall_cycles=self.now,
+            busy_cycles_per_core=np.array([c.state.busy_cycles for c in self.cores]),
+        )
+
+    # ----------------------------------------------------------- event loop
+
+    def _next_event(self):
+        best = (_INF, -1, "none")
+        if self._pending_arrivals:
+            best = (self._pending_arrivals[0][0], -1, "arrival")
+        for core in self.cores:
+            if core.task is None:
+                continue
+            cid = core.state.core_id
+            for t, kind in (
+                (core.phase_end, "phase_end"),
+                (core.quantum_end, "quantum_end"),
+                (core.next_resched, "resched"),
+                (core.next_interrupt, "interrupt"),
+                (core.next_ratecall, "ratecall"),
+            ):
+                if t < best[0]:
+                    best = (t, cid, kind)
+        return best
+
+    def _account_timeline(self, t: float) -> None:
+        if self.config.high_usage_mpi_threshold is None:
+            return
+        threshold = self.config.high_usage_mpi_threshold
+        count = 0
+        for core in self.cores:
+            rates = core.state.rates
+            if rates is None:
+                continue
+            if rates.l2_refs_per_ins * rates.l2_miss_ratio > threshold:
+                count += 1
+        self._timeline[count] += t - self.now
+
+    def _advance_all(self, t: float) -> None:
+        for core in self.cores:
+            delta = core.state.advance(t)
+            if core.task is not None and delta.instructions > 0:
+                core.period_counters = core.period_counters + delta
+                core.task.advance_instructions(delta.instructions)
+
+    # ------------------------------------------------------- event handlers
+
+    def _on_phase_end(self, core_id: int) -> None:
+        core = self.cores[core_id]
+        task = core.task
+        # Snap to the exact phase boundary (float drift from rate changes).
+        task.instructions_done_in_phase = float(task.current_phase.instructions)
+
+        if not task.on_last_phase:
+            next_phase = task.stage.phases[task.phase_index + 1]
+            name = next_phase.entry_syscall
+            if name is not None:
+                self.tracker.record_syscall(task.request_id, self.now, name)
+                if self.policy.accepts_trigger(name) and (
+                    self.now - core.last_sample >= self._t_syscall_min_cycles
+                ):
+                    self._sample(core, SamplingContext.IN_KERNEL)
+            task.enter_next_phase()
+            self._recompute_rates()
+            return
+
+        if not task.on_last_stage:
+            self._hand_off_stage(core, task)
+        else:
+            self._complete_request(core, task)
+        self._dispatch(core_id)
+        self._recompute_rates()
+
+    def _on_quantum_end(self, core_id: int) -> None:
+        core = self.cores[core_id]
+        task = core.task
+        self._switch_out(core, SamplingContext.IN_KERNEL)
+        self.runqueues[core_id].append(task)  # round-robin: requeue at tail
+        self._dispatch(core_id)
+        self._recompute_rates()
+
+    def _on_resched(self, core_id: int) -> None:
+        core = self.cores[core_id]
+        current = core.task
+        running = {c.state.core_id: c.task for c in self.cores}
+        idx = self.scheduler.should_preempt(
+            core_id, current, self.runqueues[core_id], running
+        )
+        if idx is None:
+            core.next_resched = self.now + self._resched_cycles
+            return
+        incoming = self.runqueues[core_id].pop(idx)
+        self._switch_out(core, SamplingContext.IN_KERNEL)
+        # Keep the preempted request at the head so it resumes first.
+        self.runqueues[core_id].insert(0, current)
+        self._switch_in(core, incoming)
+        self._recompute_rates()
+
+    def _on_interrupt(self, core_id: int) -> None:
+        self._sample(self.cores[core_id], SamplingContext.INTERRUPT)
+
+    def _on_ratecall(self, core_id: int) -> None:
+        core = self.cores[core_id]
+        phase = core.task.current_phase
+        name = phase.syscall_pool[int(self.rng.integers(len(phase.syscall_pool)))]
+        if self.policy.accepts_trigger(name):
+            self._sample(core, SamplingContext.IN_KERNEL)
+        else:
+            self._reset_ratecall(core)
+
+    # ------------------------------------------------------- request admin
+
+    def _admit(self) -> None:
+        spec = self.workload.sample_request(self.rng, self._admitted)
+        self._admitted += 1
+        self.tracker.start_request(spec, self.now)
+        self._enqueue_stage(spec, stage_index=0)
+
+    def _on_arrival(self, core_id: int) -> None:
+        while self._pending_arrivals and (
+            self._pending_arrivals[0][0] <= self.now + 1e-9
+        ):
+            _, _, spec, stage_index = heapq.heappop(self._pending_arrivals)
+            if spec is None:
+                self._admit()
+            else:
+                self._enqueue_stage(spec, stage_index)
+        self._recompute_rates()
+
+    def _machine_of_tier(self, tier: str) -> int:
+        if not self.config.tier_placement:
+            return 0
+        return self.config.tier_placement.get(tier, 0)
+
+    def _enqueue_stage(self, spec, stage_index: int) -> None:
+        tier = spec.stages[stage_index].tier
+        machine_id = self._machine_of_tier(tier)
+        machine_cores = self.machine.machine_cores(machine_id)
+        rr = self._machine_rr.get(machine_id, 0)
+        self._machine_rr[machine_id] = rr + 1
+        core_id = machine_cores[rr % len(machine_cores)]
+        self._next_home_core += 1
+        task = Task(
+            task_id=self._next_task_id,
+            request=spec,
+            stage_index=stage_index,
+            home_core=core_id,
+            enqueue_cycle=self.now,
+        )
+        self._next_task_id += 1
+        self.runqueues[core_id].append(task)
+        if self.cores[core_id].task is None:
+            self._dispatch(core_id)
+
+    def _defer_stage(self, spec, stage_index: int, ready_cycle: float) -> None:
+        """Queue a stage arrival after a network hand-off delay."""
+        heapq.heappush(
+            self._pending_arrivals,
+            (ready_cycle, self._arrival_seq, spec, stage_index),
+        )
+        self._arrival_seq += 1
+
+    def _defer_admission(self, ready_cycle: float) -> None:
+        """Schedule an open-loop request admission."""
+        heapq.heappush(
+            self._pending_arrivals, (ready_cycle, self._arrival_seq, None, 0)
+        )
+        self._arrival_seq += 1
+
+    def _hand_off_stage(self, core: _CoreRun, task: Task) -> None:
+        """Request propagates to the next tier through socket operations."""
+        self._switch_out(core, SamplingContext.IN_KERNEL)
+        task.state = TaskState.DONE
+        self.tracker.record_syscall(task.request_id, self.now, "write")
+        self.tracker.record_syscall(task.request_id, self.now, "read")
+        next_stage = task.stage_index + 1
+        source = self.machine.bus_domain_of(core.state.core_id)
+        target = self._machine_of_tier(task.request.stages[next_stage].tier)
+        if target != source:
+            self._defer_stage(
+                task.request, next_stage, self.now + self._network_delay_cycles
+            )
+        else:
+            self._enqueue_stage(task.request, next_stage)
+
+    def _complete_request(self, core: _CoreRun, task: Task) -> None:
+        self._switch_out(core, SamplingContext.IN_KERNEL)
+        task.state = TaskState.DONE
+        trace = self.tracker.finish_request(task.request_id, self.now)
+        self.traces.append(trace)
+        self._completed += 1
+        if (
+            self.config.arrival_rate_per_s is None
+            and self._admitted < self.config.num_requests
+        ):
+            self._admit()
+
+    # --------------------------------------------------------- dispatching
+
+    def _dispatch(self, core_id: int) -> None:
+        core = self.cores[core_id]
+        if core.task is not None:
+            return
+        running = {c.state.core_id: c.task for c in self.cores}
+        idx = self.scheduler.pick(core_id, self.runqueues[core_id], running)
+        if idx is None:
+            self._clear_core(core)
+            return
+        task = self.runqueues[core_id].pop(idx)
+        self._switch_in(core, task)
+
+    def _clear_core(self, core: _CoreRun) -> None:
+        core.state.set_rates(None)
+        core.phase_end = _INF
+        core.quantum_end = _INF
+        core.next_resched = _INF
+        core.next_interrupt = _INF
+        core.next_ratecall = _INF
+
+    def _switch_in(self, core: _CoreRun, task: Task) -> None:
+        task.state = TaskState.RUNNING
+        core.task = task
+        core.period_start = self.now
+        core.period_counters = CounterSnapshot()
+        core.period_inj_ik = 0
+        core.period_inj_int = 0
+        core.last_sample = self.now
+        core.quantum_end = self.now + self._quantum_cycles
+        core.next_resched = (
+            self.now + self._resched_cycles if self._resched_cycles else _INF
+        )
+
+        phase = task.current_phase
+        # First dispatch of a stage records its opening syscall.
+        if task.phase_index == 0 and task.instructions_done_in_phase == 0:
+            if phase.entry_syscall is not None:
+                self.tracker.record_syscall(
+                    task.request_id, self.now, phase.entry_syscall
+                )
+
+        # The switch itself samples the counters in-kernel (mandatory for
+        # attribution) and the incoming task pays cache-refill pollution if
+        # the core last ran someone else.
+        cost = self.config.cost_model.cost(
+            SamplingContext.IN_KERNEL, phase.behavior.cache_footprint
+        )
+        self.stats.record(SamplingContext.IN_KERNEL, mandatory=True)
+        # A resuming task whose core ran someone else in between finds its
+        # cached state evicted and pays a footprint-scaled refill transient
+        # (the context-switch cache pollution of Section 5.2).  The refill
+        # is not an instantaneous lump: the task keeps retiring phase
+        # instructions at roughly doubled CPI while its lines stream back,
+        # so the injected counters carry matching instruction progress.
+        if task.has_started and core.last_task_id != task.task_id:
+            behavior = phase.behavior
+            footprint = behavior.cache_footprint
+            refill_cycles = footprint * self.config.ctx_switch_refill_cycles
+            transient_cpi = 2.0 * behavior.solo_cpi(
+                self.machine.l2_miss_penalty_cycles
+            )
+            instructions = min(
+                refill_cycles / transient_cpi, 0.9 * task.remaining_in_phase
+            )
+            refill_cycles = instructions * transient_cpi
+            lines = footprint * (
+                self.machine.l2_size_kb * 1024 / self.machine.l2_line_bytes
+            )
+            cost = cost + CounterSnapshot(
+                cycles=refill_cycles,
+                instructions=instructions,
+                l2_refs=lines,
+                l2_misses=lines,
+            )
+            task.advance_instructions(instructions)
+        task.has_started = True
+        core.state.inject(cost)
+        core.period_counters = core.period_counters + cost
+        core.period_inj_ik += 1
+        core.last_task_id = task.task_id
+
+        self._reset_sampler_timers(core)
+
+    def _switch_out(self, core: _CoreRun, context: SamplingContext) -> None:
+        """Flush the running task's period and free the core."""
+        task = core.task
+        if task is None:
+            raise RuntimeError("switch_out on idle core")
+        self._flush_period(core, context)
+        task.state = TaskState.READY
+        core.task = None
+        core.state.set_rates(None)
+        self._clear_core(core)
+
+    # ------------------------------------------------------------ sampling
+
+    def _flush_period(self, core: _CoreRun, context: Optional[SamplingContext]) -> None:
+        counters = core.period_counters
+        self.scheduler.on_sample(
+            core.task, counters.instructions, counters.l2_misses, counters.cycles
+        )
+        self.tracker.close_period(
+            core.task.request_id,
+            PeriodRecord(
+                start_cycle=core.period_start,
+                end_cycle=self.now,
+                core=core.state.core_id,
+                counters=counters,
+                injected_in_kernel=core.period_inj_ik,
+                injected_interrupt=core.period_inj_int,
+                closing_context=context,
+            ),
+        )
+        core.period_start = self.now
+        core.period_counters = CounterSnapshot()
+        core.period_inj_ik = 0
+        core.period_inj_int = 0
+
+    def _sample(self, core: _CoreRun, context: SamplingContext) -> None:
+        """Take one counter sample on a busy core (non-mandatory)."""
+        task = core.task
+        self._flush_period(core, context)
+        self.stats.record(context, mandatory=False)
+        cost = self.config.cost_model.cost(
+            context, task.current_phase.behavior.cache_footprint
+        )
+        core.state.inject(cost)
+        core.period_counters = core.period_counters + cost
+        if context is SamplingContext.IN_KERNEL:
+            core.period_inj_ik += 1
+        else:
+            core.period_inj_int += 1
+        core.last_sample = self.now
+        self._reset_sampler_timers(core)
+        self._update_core_timers(core)
+
+    def _reset_sampler_timers(self, core: _CoreRun) -> None:
+        mode = self.policy.mode
+        if mode is SamplingMode.INTERRUPT:
+            core.next_interrupt = self.now + self._interrupt_cycles
+        elif self.policy.wants_syscall_events():
+            core.next_interrupt = self.now + self._backup_cycles
+        else:
+            core.next_interrupt = _INF
+
+    # ------------------------------------------------------------- rates
+
+    def _recompute_rates(self) -> None:
+        behaviors = {
+            c.state.core_id: c.task.current_phase.behavior
+            for c in self.cores
+            if c.task is not None
+        }
+        rates = compute_effective_rates(
+            self.machine, self.config.cache, self.config.bus, behaviors
+        )
+        for core in self.cores:
+            cid = core.state.core_id
+            if cid in rates:
+                core.state.set_rates(rates[cid])
+                self._update_core_timers(core)
+            elif core.task is None:
+                core.state.set_rates(None)
+
+    def _update_core_timers(self, core: _CoreRun) -> None:
+        """Recompute phase-end and lazy-syscall timers from current rates."""
+        task = core.task
+        rates = core.state.rates
+        if task is None or rates is None:
+            return
+        remaining = task.remaining_in_phase
+        core.phase_end = core.state.last_advance_cycle + remaining * rates.cpi
+        self._reset_ratecall(core)
+
+    def _reset_ratecall(self, core: _CoreRun) -> None:
+        if not self.policy.wants_syscall_events():
+            core.next_ratecall = _INF
+            return
+        phase = core.task.current_phase
+        if phase.syscall_rate_per_ins <= 0:
+            core.next_ratecall = _INF
+            return
+        # The earliest instant a rate-based syscall could trigger a sample;
+        # by exponential memorylessness the next call after that instant is
+        # one fresh draw away.
+        earliest = max(
+            core.state.last_advance_cycle,
+            core.last_sample + self._t_syscall_min_cycles,
+        )
+        delay = next_rate_syscall_cycles(
+            self.rng, phase.syscall_rate_per_ins, core.state.rates.cpi
+        )
+        core.next_ratecall = earliest + delay
+
+
+def run_workload(workload, config: Optional[SimConfig] = None, **overrides) -> SimResult:
+    """Convenience wrapper: simulate a workload and return the result.
+
+    ``workload`` may be a generator instance or a registered name.
+    Keyword overrides are applied on top of ``config`` (or a default one).
+    """
+    from repro.workloads.registry import make_workload
+
+    if isinstance(workload, str):
+        workload = make_workload(workload)
+    if config is None:
+        config = SimConfig()
+    if overrides:
+        from dataclasses import replace
+
+        config = replace(config, **overrides)
+    return ServerSimulator(workload, config).run()

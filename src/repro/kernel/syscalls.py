@@ -1,0 +1,139 @@
+"""System-call stream model and next-syscall distance analysis.
+
+System calls come from two sources in the workload model: *entry* syscalls
+issued at phase boundaries (deterministic, named — the material for behavior
+transition signals), and *rate-based* anonymous calls drawn from a Poisson
+process per phase (network/storage I/O chatter).  The simulator materializes
+rate-based calls lazily — only when a syscall-triggered sampler could act on
+one — exploiting the memorylessness of the exponential distribution.
+
+This module also implements the Figure 4 measurement: the distribution of
+the distance from an arbitrary instant of request execution to the next
+system call, in both instructions and (solo-CPI-estimated) time.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.workloads.base import RequestSpec
+
+
+def next_rate_syscall_cycles(
+    rng: np.random.Generator, rate_per_ins: float, cpi: float
+) -> float:
+    """Draw the delay (in cycles) until the next rate-based syscall."""
+    if rate_per_ins <= 0:
+        return float("inf")
+    mean_cycles = cpi / rate_per_ins
+    return float(rng.exponential(mean_cycles))
+
+
+def sample_next_syscall_distance(
+    spec: RequestSpec,
+    rng: np.random.Generator,
+    frequency_ghz: float = 3.0,
+    miss_penalty_cycles: float = 220.0,
+    position: float = None,
+) -> Tuple[float, float]:
+    """Distance from a random instant to the next syscall.
+
+    Returns ``(instructions, microseconds)``.  The instant is drawn
+    uniformly over the request's instructions (or fixed via ``position``,
+    an instruction offset); the walk proceeds through the phase list:
+    within a phase with a rate-based stream the next call is exponential,
+    otherwise execution runs syscall-free until the next phase with an
+    entry syscall (or a rate-based stream, or a tier boundary / request
+    completion, both of which involve socket syscalls).
+    """
+    phases = list(spec.phases())
+    lengths = np.array([p.instructions for p in phases], dtype=float)
+    total = lengths.sum()
+    if position is None:
+        position = rng.uniform(0.0, total)
+    elif not 0.0 <= position < total:
+        raise ValueError(f"position {position} outside [0, {total})")
+
+    # Tier boundaries (socket ops) act as guaranteed syscalls: record the
+    # cumulative instruction offsets where a stage ends.
+    boundary_offsets = set()
+    acc = 0
+    for stage in spec.stages:
+        acc += stage.instructions
+        boundary_offsets.add(acc)
+
+    cumulative = np.concatenate([[0.0], np.cumsum(lengths)])
+    phase_idx = int(np.searchsorted(cumulative, position, side="right") - 1)
+    phase_idx = min(phase_idx, len(phases) - 1)
+    offset_in_phase = position - cumulative[phase_idx]
+
+    distance_ins = 0.0
+    distance_cycles = 0.0
+    idx = phase_idx
+    offset = offset_in_phase
+    while True:
+        p = phases[idx]
+        solo_cpi = p.behavior.solo_cpi(miss_penalty_cycles)
+        remaining = p.instructions - offset
+        if p.syscall_rate_per_ins > 0:
+            draw = rng.exponential(1.0 / p.syscall_rate_per_ins)
+            if draw <= remaining:
+                distance_ins += draw
+                distance_cycles += draw * solo_cpi
+                break
+        distance_ins += remaining
+        distance_cycles += remaining * solo_cpi
+        end_offset = cumulative[idx + 1]
+        if end_offset in boundary_offsets:
+            break  # socket op at tier boundary / request completion
+        idx += 1
+        offset = 0.0
+        if phases[idx].entry_syscall is not None:
+            break  # the next phase begins with a named syscall
+
+    return distance_ins, distance_cycles / (frequency_ghz * 1000.0)
+
+
+def next_syscall_distance_cdf(
+    spec_iter,
+    rng: np.random.Generator,
+    distances_grid_us,
+    distances_grid_ins,
+    samples_per_request: int = 20,
+    frequency_ghz: float = 3.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cumulative probability of the next-syscall distance (Figure 4).
+
+    ``spec_iter`` yields request specs; ``samples_per_request`` instants per
+    spec are drawn on average, allocated proportionally to each request's
+    instruction count ("an arbitrary instant in a request execution" is an
+    instant of the *system's* execution, so long requests weigh more).
+    Returns two CDF arrays evaluated on the supplied time (us) and
+    instruction grids.
+    """
+    specs = list(spec_iter)
+    if not specs:
+        raise ValueError("no request specs supplied")
+    masses = np.array([s.total_instructions for s in specs], dtype=float)
+    total_samples = samples_per_request * len(specs)
+    counts = rng.multinomial(total_samples, masses / masses.sum())
+    ins_samples = []
+    us_samples = []
+    for spec, count in zip(specs, counts):
+        for _ in range(int(count)):
+            d_ins, d_us = sample_next_syscall_distance(
+                spec, rng, frequency_ghz=frequency_ghz
+            )
+            ins_samples.append(d_ins)
+            us_samples.append(d_us)
+    ins_samples = np.sort(np.asarray(ins_samples))
+    us_samples = np.sort(np.asarray(us_samples))
+    cdf_time = np.searchsorted(us_samples, distances_grid_us, side="right") / len(
+        us_samples
+    )
+    cdf_ins = np.searchsorted(ins_samples, distances_grid_ins, side="right") / len(
+        ins_samples
+    )
+    return cdf_time, cdf_ins

@@ -1,0 +1,288 @@
+"""Request-context tracking and per-request timeline serialization.
+
+A request does not execute continuously on one CPU: it is context-switched,
+and it propagates across server tiers through socket operations.  The
+tracker attributes every execution period (the counter deltas between two
+samples) to the owning request and, at completion, serializes the periods
+into a continuous request timeline (the paper's Section 2.1 mechanism,
+detailed in their prior work [27]).
+
+Traces carry both raw measured counters (including sampling observer-effect
+perturbation) and compensated counters where the known minimum per-sample
+cost has been subtracted ("do no harm", Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.timeseries import MetricSeries
+from repro.hardware.counters import CounterSnapshot, SamplingContext, SamplingCostModel
+from repro.workloads.base import RequestSpec
+
+#: Metric names resolvable by :meth:`RequestTrace.series` and friends.
+METRICS = ("cpi", "l2_refs_per_ins", "l2_miss_per_ins", "l2_miss_ratio")
+
+
+@dataclass
+class PeriodRecord:
+    """One execution period: counter deltas between consecutive samples."""
+
+    start_cycle: float
+    end_cycle: float
+    core: int
+    counters: CounterSnapshot
+    #: Number of compensatable samples whose cost was injected into this
+    #: period, by sampling context.
+    injected_in_kernel: int = 0
+    injected_interrupt: int = 0
+    #: What closed the period (None for the final flush at completion).
+    closing_context: Optional[SamplingContext] = None
+
+
+class RequestTrace:
+    """Serialized per-request counter timeline."""
+
+    def __init__(
+        self,
+        spec: RequestSpec,
+        arrival_cycle: float,
+        completion_cycle: float,
+        periods: List[PeriodRecord],
+        syscall_events: List[Tuple[float, str]],
+        cost_model: Optional[SamplingCostModel],
+        frequency_ghz: float,
+    ):
+        if not periods:
+            raise ValueError(f"request {spec.request_id} produced no periods")
+        self.spec = spec
+        self.arrival_cycle = arrival_cycle
+        self.completion_cycle = completion_cycle
+        self.syscall_events = list(syscall_events)
+        self.frequency_ghz = frequency_ghz
+
+        order = np.argsort([p.start_cycle for p in periods], kind="stable")
+        periods = [periods[i] for i in order]
+        self.start = np.array([p.start_cycle for p in periods])
+        self.end = np.array([p.end_cycle for p in periods])
+        self.core = np.array([p.core for p in periods], dtype=int)
+        self.raw_instructions = np.array([p.counters.instructions for p in periods])
+        self.raw_cycles = np.array([p.counters.cycles for p in periods])
+        self.raw_l2_refs = np.array([p.counters.l2_refs for p in periods])
+        self.raw_l2_misses = np.array([p.counters.l2_misses for p in periods])
+        n_ik = np.array([p.injected_in_kernel for p in periods], dtype=float)
+        n_int = np.array([p.injected_interrupt for p in periods], dtype=float)
+
+        if cost_model is None:
+            self.instructions = self.raw_instructions.copy()
+            self.cycles = self.raw_cycles.copy()
+            self.l2_refs = self.raw_l2_refs.copy()
+            self.l2_misses = self.raw_l2_misses.copy()
+        else:
+            ik = cost_model.minimum_cost(SamplingContext.IN_KERNEL)
+            it = cost_model.minimum_cost(SamplingContext.INTERRUPT)
+            self.instructions = np.maximum(
+                1.0, self.raw_instructions - n_ik * ik.instructions - n_int * it.instructions
+            )
+            self.cycles = np.maximum(
+                1.0, self.raw_cycles - n_ik * ik.cycles - n_int * it.cycles
+            )
+            self.l2_refs = np.maximum(
+                0.0, self.raw_l2_refs - n_ik * ik.l2_refs - n_int * it.l2_refs
+            )
+            self.l2_misses = np.maximum(
+                0.0, self.raw_l2_misses - n_ik * ik.l2_misses - n_int * it.l2_misses
+            )
+
+    # -- whole-request aggregates ------------------------------------------
+
+    @property
+    def num_periods(self) -> int:
+        return int(self.instructions.size)
+
+    @property
+    def total_instructions(self) -> float:
+        return float(self.instructions.sum())
+
+    @property
+    def total_cycles(self) -> float:
+        return float(self.cycles.sum())
+
+    def cpu_time_us(self) -> float:
+        """Total CPU execution time consumed by the request."""
+        return self.total_cycles / (self.frequency_ghz * 1000.0)
+
+    def overall(self, metric: str) -> float:
+        """Whole-execution value of a metric (total numerator / denominator)."""
+        num, den = self._metric_sums(metric)
+        return num / den
+
+    def overall_cpi(self) -> float:
+        return self.overall("cpi")
+
+    # -- per-period views ---------------------------------------------------
+
+    def _metric_arrays(self, metric: str):
+        if metric == "cpi":
+            return self.cycles, self.instructions
+        if metric == "l2_refs_per_ins":
+            return self.l2_refs, self.instructions
+        if metric == "l2_miss_per_ins":
+            return self.l2_misses, self.instructions
+        if metric == "l2_miss_ratio":
+            return self.l2_misses, self.l2_refs
+        raise ValueError(f"unknown metric {metric!r}; choose from {METRICS}")
+
+    def _metric_sums(self, metric: str):
+        num, den = self._metric_arrays(metric)
+        total_den = float(den.sum())
+        if total_den <= 0:
+            raise ValueError(f"metric {metric!r} denominator is zero for request")
+        return float(num.sum()), total_den
+
+    def period_values(self, metric: str):
+        """Per-period metric values and instruction weights.
+
+        Periods whose denominator is zero are dropped (e.g. miss ratio in a
+        period without L2 references).
+        """
+        num, den = self._metric_arrays(metric)
+        keep = den > 0
+        return num[keep] / den[keep], self.instructions[keep]
+
+    def series(self, metric: str, window_instructions: float) -> MetricSeries:
+        """Metric series resampled on fixed instruction-count windows."""
+        win = self.window_counters(window_instructions)
+        num, den = self._window_metric(win, metric)
+        safe_den = np.where(den > 0, den, 1.0)
+        values = np.where(den > 0, num / safe_den, 0.0)
+        return MetricSeries(values=values, lengths=np.full(values.shape, float(window_instructions)))
+
+    def window_counters(self, window_instructions: float) -> Dict[str, np.ndarray]:
+        """Counters aggregated over fixed instruction-count windows."""
+        if window_instructions <= 0:
+            raise ValueError("window_instructions must be positive")
+        boundaries = np.concatenate([[0.0], np.cumsum(self.instructions)])
+        total = boundaries[-1]
+        n_windows = max(1, int(total // window_instructions))
+        edges = window_instructions * np.arange(n_windows + 1)
+        edges[-1] = min(edges[-1], total)
+        out = {}
+        for name, arr in (
+            ("instructions", self.instructions),
+            ("cycles", self.cycles),
+            ("l2_refs", self.l2_refs),
+            ("l2_misses", self.l2_misses),
+        ):
+            cum = np.concatenate([[0.0], np.cumsum(arr)])
+            at_edges = np.interp(edges, boundaries, cum)
+            out[name] = np.diff(at_edges)
+        return out
+
+    @staticmethod
+    def _window_metric(win: Dict[str, np.ndarray], metric: str):
+        if metric == "cpi":
+            return win["cycles"], win["instructions"]
+        if metric == "l2_refs_per_ins":
+            return win["l2_refs"], win["instructions"]
+        if metric == "l2_miss_per_ins":
+            return win["l2_misses"], win["instructions"]
+        if metric == "l2_miss_ratio":
+            return win["l2_misses"], win["l2_refs"]
+        raise ValueError(f"unknown metric {metric!r}; choose from {METRICS}")
+
+    # -- execution-time views (for transition-signal training) --------------
+
+    def exec_offset_of_cycle(self, cycle: float) -> float:
+        """Map a wall-clock cycle to the request's busy-cycle offset.
+
+        The request's execution timeline is the concatenation of its
+        periods with scheduling gaps removed.
+        """
+        busy_before = 0.0
+        for start, end, cyc in zip(self.start, self.end, self.cycles):
+            if cycle < start:
+                return busy_before
+            if cycle <= end:
+                wall = max(end - start, 1e-9)
+                return busy_before + (cycle - start) / wall * cyc
+            busy_before += cyc
+        return busy_before
+
+    def counters_in_exec_window(self, b0: float, b1: float) -> CounterSnapshot:
+        """Counters accumulated between two busy-cycle offsets."""
+        if b1 < b0:
+            raise ValueError("window end before start")
+        boundaries = np.concatenate([[0.0], np.cumsum(self.cycles)])
+        b0 = min(max(b0, 0.0), boundaries[-1])
+        b1 = min(max(b1, 0.0), boundaries[-1])
+        values = {}
+        for name, arr in (
+            ("cycles", self.cycles),
+            ("instructions", self.instructions),
+            ("l2_refs", self.l2_refs),
+            ("l2_misses", self.l2_misses),
+        ):
+            cum = np.concatenate([[0.0], np.cumsum(arr)])
+            values[name] = float(
+                np.interp(b1, boundaries, cum) - np.interp(b0, boundaries, cum)
+            )
+        return CounterSnapshot(**values)
+
+
+@dataclass
+class _OpenRequest:
+    spec: RequestSpec
+    arrival_cycle: float
+    periods: List[PeriodRecord] = field(default_factory=list)
+    syscalls: List[Tuple[float, str]] = field(default_factory=list)
+
+
+class RequestTracker:
+    """Attributes execution periods and syscalls to request contexts."""
+
+    def __init__(
+        self,
+        cost_model: Optional[SamplingCostModel],
+        frequency_ghz: float,
+        compensate: bool = True,
+    ):
+        self._cost_model = cost_model if compensate else None
+        self._frequency_ghz = frequency_ghz
+        self._open: Dict[int, _OpenRequest] = {}
+
+    def start_request(self, spec: RequestSpec, arrival_cycle: float) -> None:
+        if spec.request_id in self._open:
+            raise ValueError(f"request {spec.request_id} already tracked")
+        self._open[spec.request_id] = _OpenRequest(spec, arrival_cycle)
+
+    def record_syscall(self, request_id: int, cycle: float, name: str) -> None:
+        self._open[request_id].syscalls.append((cycle, name))
+
+    def close_period(self, request_id: int, period: PeriodRecord) -> None:
+        """Attribute a finished execution period to its request.
+
+        Periods with no measurable activity are dropped.
+        """
+        if period.counters.cycles <= 0 and period.counters.instructions <= 0:
+            return
+        self._open[request_id].periods.append(period)
+
+    def finish_request(self, request_id: int, completion_cycle: float) -> RequestTrace:
+        open_req = self._open.pop(request_id)
+        return RequestTrace(
+            spec=open_req.spec,
+            arrival_cycle=open_req.arrival_cycle,
+            completion_cycle=completion_cycle,
+            periods=open_req.periods,
+            syscall_events=open_req.syscalls,
+            cost_model=self._cost_model,
+            frequency_ghz=self._frequency_ghz,
+        )
+
+    @property
+    def open_requests(self) -> int:
+        return len(self._open)

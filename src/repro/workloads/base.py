@@ -1,0 +1,171 @@
+"""Request, stage, and phase abstractions shared by all workload models.
+
+A *request* (the paper's unit of analysis: "the set of server activities to
+service a user call") is modeled as a sequence of *stages*, one per server
+tier it propagates through (e.g. web server -> EJB container -> database in
+RUBiS).  Each stage is a sequence of *phases*: contiguous instruction spans
+with fixed solo hardware behavior and a system-call pattern.  The kernel
+simulator executes phases under contention; everything downstream (sampling,
+differencing, classification, scheduling) sees only the resulting
+counter timeline, never the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.hardware.cpu import PhaseBehavior
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A contiguous span of request execution with uniform solo behavior."""
+
+    name: str
+    instructions: int
+    behavior: PhaseBehavior
+    #: Named system call issued at phase entry, if any.  Entry syscalls are
+    #: what the transition-signal sampler (Section 3.2) learns from: the
+    #: behavior before the call is the previous phase, after it this one.
+    entry_syscall: Optional[str] = None
+    #: Poisson rate (calls per instruction) of additional anonymous system
+    #: calls issued while the phase runs (network/storage I/O chatter).
+    syscall_rate_per_ins: float = 0.0
+    #: Names drawn (round-robin) for the rate-based calls.
+    syscall_pool: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.instructions <= 0:
+            raise ValueError(f"phase {self.name!r}: instructions must be positive")
+        if self.syscall_rate_per_ins < 0:
+            raise ValueError(f"phase {self.name!r}: negative syscall rate")
+        if self.syscall_rate_per_ins > 0 and not self.syscall_pool:
+            raise ValueError(
+                f"phase {self.name!r}: rate-based syscalls need a name pool"
+            )
+
+    def mean_syscall_distance_ins(self) -> float:
+        """Mean instructions between rate-based syscalls (inf if none)."""
+        if self.syscall_rate_per_ins == 0:
+            return float("inf")
+        return 1.0 / self.syscall_rate_per_ins
+
+
+@dataclass(frozen=True)
+class Stage:
+    """The portion of a request executed within one server tier/process."""
+
+    tier: str
+    phases: Tuple[Phase, ...]
+
+    def __post_init__(self):
+        if not self.phases:
+            raise ValueError(f"stage {self.tier!r} has no phases")
+
+    @property
+    def instructions(self) -> int:
+        return sum(p.instructions for p in self.phases)
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """A fully materialized request, ready for simulation."""
+
+    request_id: int
+    app: str
+    #: Request type within the application (transaction name, query id,
+    #: URL class, problem id, ...).
+    kind: str
+    stages: Tuple[Stage, ...]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.stages:
+            raise ValueError("request has no stages")
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(s.instructions for s in self.stages)
+
+    def phases(self) -> Iterator[Phase]:
+        for stage in self.stages:
+            yield from stage.phases
+
+    def syscall_sequence(self, rng: np.random.Generator) -> List[str]:
+        """The request's application-level system-call name sequence.
+
+        This is the software-event view a Magpie-style tracker would record
+        (Section 4.1's Levenshtein baseline): entry syscalls in order, plus
+        the expected number of rate-based calls per phase with names cycled
+        from the phase pool, plus socket ops at tier boundaries.
+        """
+        sequence: List[str] = []
+        for stage_idx, stage in enumerate(self.stages):
+            if stage_idx > 0:
+                sequence.extend(["read", "recvfrom"])  # tier hand-off arrival
+            for phase in stage.phases:
+                if phase.entry_syscall is not None:
+                    sequence.append(phase.entry_syscall)
+                if phase.syscall_rate_per_ins > 0:
+                    expected = phase.instructions * phase.syscall_rate_per_ins
+                    count = int(rng.poisson(expected))
+                    pool = phase.syscall_pool
+                    sequence.extend(pool[i % len(pool)] for i in range(count))
+            if stage_idx < len(self.stages) - 1:
+                sequence.extend(["write", "sendto"])  # tier hand-off departure
+        return sequence
+
+    def solo_cpi(self, miss_penalty_cycles: float) -> float:
+        """Instruction-weighted CPI of the request when run alone."""
+        total_cycles = sum(
+            p.instructions * p.behavior.solo_cpi(miss_penalty_cycles)
+            for p in self.phases()
+        )
+        return total_cycles / self.total_instructions
+
+    def solo_series(
+        self, window_instructions: float, miss_penalty_cycles: float = 220.0
+    ) -> np.ndarray:
+        """Uncontended CPI over fixed instruction windows (ground truth).
+
+        Useful for constructing illustrative examples (e.g. Figure 6's
+        drift pair) without running a full simulation.
+        """
+        if window_instructions <= 0:
+            raise ValueError("window_instructions must be positive")
+        phases = list(self.phases())
+        lengths = np.array([p.instructions for p in phases], dtype=float)
+        cpis = np.array(
+            [p.behavior.solo_cpi(miss_penalty_cycles) for p in phases]
+        )
+        boundaries = np.concatenate([[0.0], np.cumsum(lengths)])
+        cum_cycles = np.concatenate([[0.0], np.cumsum(lengths * cpis)])
+        n_windows = max(1, int(boundaries[-1] // window_instructions))
+        edges = window_instructions * np.arange(n_windows + 1)
+        at_edges = np.interp(edges, boundaries, cum_cycles)
+        return np.diff(at_edges) / window_instructions
+
+
+class WorkloadGenerator(Protocol):
+    """Factory producing a stream of request specs for one application."""
+
+    #: Application name, e.g. ``"webserver"``.
+    name: str
+    #: Suggested counter-sampling period in microseconds (Section 3.1:
+    #: 10 us for the web server, 100 us for TPCC/RUBiS, 1 ms for
+    #: TPCH/WeBWorK).
+    sampling_period_us: float
+
+    def sample_request(
+        self, rng: np.random.Generator, request_id: int
+    ) -> RequestSpec:
+        """Draw one request from the workload distribution."""
+        ...
+
+
+def single_stage(tier: str, phases) -> Tuple[Stage, ...]:
+    """Convenience wrapper for single-tier applications."""
+    return (Stage(tier=tier, phases=tuple(phases)),)

@@ -1,0 +1,105 @@
+"""Static workload characterization (no simulation required).
+
+``describe(workload)`` samples request specs and summarizes each request
+kind's composition — lengths, solo CPI, cache appetite, syscall density —
+the numbers a user needs to sanity-check a workload model against its
+source application before running experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KindProfile:
+    """Static profile of one request kind."""
+
+    kind: str
+    share: float
+    mean_instructions: float
+    mean_solo_cpi: float
+    mean_l2_refs_per_ins: float
+    mean_footprint: float
+    #: Expected system calls per million instructions (entries + rate).
+    syscalls_per_mega_ins: float
+    mean_stages: float
+
+
+def describe(
+    workload,
+    n_requests: int = 200,
+    seed: int = 0,
+    miss_penalty_cycles: float = 220.0,
+) -> Dict[str, KindProfile]:
+    """Sample ``n_requests`` specs and profile each request kind."""
+    if n_requests < 1:
+        raise ValueError("n_requests must be positive")
+    rng = np.random.default_rng(seed)
+    specs = [workload.sample_request(rng, i) for i in range(n_requests)]
+
+    by_kind: Dict[str, List] = {}
+    for spec in specs:
+        by_kind.setdefault(spec.kind, []).append(spec)
+
+    profiles: Dict[str, KindProfile] = {}
+    for kind, members in sorted(by_kind.items()):
+        instructions = []
+        solo_cpis = []
+        refs = []
+        footprints = []
+        syscall_density = []
+        stages = []
+        for spec in members:
+            total = spec.total_instructions
+            instructions.append(total)
+            solo_cpis.append(spec.solo_cpi(miss_penalty_cycles))
+            weighted_refs = 0.0
+            weighted_fp = 0.0
+            n_syscalls = 0.0
+            for p in spec.phases():
+                weighted_refs += p.instructions * p.behavior.l2_refs_per_ins
+                weighted_fp += p.instructions * p.behavior.cache_footprint
+                if p.entry_syscall is not None:
+                    n_syscalls += 1
+                n_syscalls += p.instructions * p.syscall_rate_per_ins
+            n_syscalls += 2 * (len(spec.stages) - 1)  # socket hand-offs
+            refs.append(weighted_refs / total)
+            footprints.append(weighted_fp / total)
+            syscall_density.append(n_syscalls / total * 1e6)
+            stages.append(len(spec.stages))
+        profiles[kind] = KindProfile(
+            kind=kind,
+            share=len(members) / n_requests,
+            mean_instructions=float(np.mean(instructions)),
+            mean_solo_cpi=float(np.mean(solo_cpis)),
+            mean_l2_refs_per_ins=float(np.mean(refs)),
+            mean_footprint=float(np.mean(footprints)),
+            syscalls_per_mega_ins=float(np.mean(syscall_density)),
+            mean_stages=float(np.mean(stages)),
+        )
+    return profiles
+
+
+def describe_table(workload, n_requests: int = 200, seed: int = 0) -> str:
+    """Human-readable profile table for one workload."""
+    from repro.analysis.report import format_table
+
+    profiles = describe(workload, n_requests=n_requests, seed=seed)
+    rows = [
+        {
+            "kind": p.kind,
+            "share": p.share,
+            "mean_Mins": p.mean_instructions / 1e6,
+            "solo_cpi": p.mean_solo_cpi,
+            "l2_refs/ins": p.mean_l2_refs_per_ins,
+            "footprint": p.mean_footprint,
+            "syscalls/Mins": p.syscalls_per_mega_ins,
+            "stages": p.mean_stages,
+        }
+        for p in profiles.values()
+    ]
+    return format_table(rows, title=f"workload profile: {workload.name}")

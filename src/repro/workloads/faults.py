@@ -1,0 +1,173 @@
+"""Fault injection for validating the anomaly-detection pipeline.
+
+The paper detects anomalies in the wild and argues post-hoc about their
+causes.  To *validate* a detector, one needs ground truth: this module
+wraps any workload generator and injects known behavioral faults into a
+chosen fraction of requests — a lock-contention stall (extra spinning
+instructions, as hypothesized for the TPCH case in Section 4.3), a cache
+thrash burst (a span with degraded locality), or a slowdown (elevated CPI
+across the whole request).  Injected request ids are recorded so tests can
+score detector recall and precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+import numpy as np
+
+from repro.hardware.cpu import PhaseBehavior
+from repro.workloads.base import Phase, RequestSpec, Stage
+
+FAULT_KINDS = ("lock_stall", "cache_thrash", "slowdown")
+
+
+@dataclass
+class FaultInjectingWorkload:
+    """Wrap a workload generator, injecting faults into some requests."""
+
+    inner: object
+    fault_probability: float = 0.1
+    fault_kind: str = "lock_stall"
+    #: Size of injected lock-stall / thrash spans, as a fraction of the
+    #: request's instructions.
+    fault_span_fraction: float = 0.08
+    #: CPI multiplier for the "slowdown" fault.
+    slowdown_factor: float = 1.6
+
+    injected_ids: Set[int] = field(default_factory=set)
+
+    def __post_init__(self):
+        if not 0.0 <= self.fault_probability <= 1.0:
+            raise ValueError("fault_probability must be in [0, 1]")
+        if self.fault_kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.fault_kind!r}; choose from {FAULT_KINDS}"
+            )
+        if not 0.0 < self.fault_span_fraction < 1.0:
+            raise ValueError("fault_span_fraction must be in (0, 1)")
+
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name}+{self.fault_kind}"
+
+    @property
+    def sampling_period_us(self) -> float:
+        return self.inner.sampling_period_us
+
+    def sample_request(self, rng: np.random.Generator, request_id: int) -> RequestSpec:
+        spec = self.inner.sample_request(rng, request_id)
+        if rng.random() >= self.fault_probability:
+            return spec
+        self.injected_ids.add(request_id)
+        if self.fault_kind == "lock_stall":
+            return self._inject_lock_stall(spec, rng)
+        if self.fault_kind == "cache_thrash":
+            return self._inject_cache_thrash(spec, rng)
+        return self._inject_slowdown(spec)
+
+    # -- fault constructors -------------------------------------------------
+
+    def _fault_position(self, spec: RequestSpec, rng) -> float:
+        """Instruction offset at which the fault strikes (middle-ish)."""
+        return float(rng.uniform(0.25, 0.75)) * spec.total_instructions
+
+    def _inject_span(self, spec: RequestSpec, rng, span_phase: Phase) -> RequestSpec:
+        position = self._fault_position(spec, rng)
+        consumed = 0
+        new_stages: List[Stage] = []
+        inserted = False
+        for stage in spec.stages:
+            phases: List[Phase] = []
+            for p in stage.phases:
+                phases.append(p)
+                consumed += p.instructions
+                if not inserted and consumed >= position:
+                    phases.append(span_phase)
+                    inserted = True
+            new_stages.append(Stage(tier=stage.tier, phases=tuple(phases)))
+        return RequestSpec(
+            request_id=spec.request_id,
+            app=spec.app,
+            kind=spec.kind,
+            stages=tuple(new_stages),
+            metadata={**spec.metadata, "injected_fault": self.fault_kind},
+        )
+
+    def _inject_lock_stall(self, spec: RequestSpec, rng) -> RequestSpec:
+        """Spinning on a contended lock: extra instructions, poor IPC,
+        almost no data footprint — the Section 4.3 software-contention
+        hypothesis (more instructions *and* more references)."""
+        span = Phase(
+            name="fault_lock_stall",
+            instructions=max(
+                5_000, int(self.fault_span_fraction * spec.total_instructions)
+            ),
+            behavior=PhaseBehavior(
+                base_cpi=4.2,  # dependent spin loop, serialized by the lock
+                l2_refs_per_ins=0.008,
+                l2_miss_ratio=0.6,  # the lock line bounces between cores
+                cache_footprint=0.05,
+            ),
+        )
+        return self._inject_span(spec, rng, span)
+
+    def _inject_cache_thrash(self, spec: RequestSpec, rng) -> RequestSpec:
+        """A span with pathological locality (e.g. a degenerate hash)."""
+        span = Phase(
+            name="fault_cache_thrash",
+            instructions=max(
+                5_000, int(self.fault_span_fraction * spec.total_instructions)
+            ),
+            behavior=PhaseBehavior(
+                base_cpi=1.2,
+                l2_refs_per_ins=0.05,
+                l2_miss_ratio=0.85,
+                cache_footprint=1.0,
+            ),
+        )
+        return self._inject_span(spec, rng, span)
+
+    def _inject_slowdown(self, spec: RequestSpec) -> RequestSpec:
+        """Uniformly elevated CPI (e.g. debug logging left enabled)."""
+        new_stages = []
+        for stage in spec.stages:
+            phases = tuple(
+                Phase(
+                    name=p.name,
+                    instructions=p.instructions,
+                    behavior=PhaseBehavior(
+                        base_cpi=p.behavior.base_cpi * self.slowdown_factor,
+                        l2_refs_per_ins=p.behavior.l2_refs_per_ins,
+                        l2_miss_ratio=p.behavior.l2_miss_ratio,
+                        cache_footprint=p.behavior.cache_footprint,
+                    ),
+                    entry_syscall=p.entry_syscall,
+                    syscall_rate_per_ins=p.syscall_rate_per_ins,
+                    syscall_pool=p.syscall_pool,
+                )
+                for p in stage.phases
+            )
+            new_stages.append(Stage(tier=stage.tier, phases=phases))
+        return RequestSpec(
+            request_id=spec.request_id,
+            app=spec.app,
+            kind=spec.kind,
+            stages=tuple(new_stages),
+            metadata={**spec.metadata, "injected_fault": self.fault_kind},
+        )
+
+
+def score_detection(flagged_ids, injected_ids, population: int) -> dict:
+    """Recall/precision of an anomaly detector against injected ground truth."""
+    flagged = set(flagged_ids)
+    injected = set(injected_ids)
+    true_positives = len(flagged & injected)
+    return {
+        "recall": true_positives / len(injected) if injected else 1.0,
+        "precision": true_positives / len(flagged) if flagged else 1.0,
+        "flagged": len(flagged),
+        "injected": len(injected),
+        "population": population,
+    }

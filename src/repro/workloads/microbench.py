@@ -1,0 +1,85 @@
+"""Microbenchmarks used to assess sampling cost and observer effect.
+
+Table 1 of the paper measures per-sample cost with two microbenchmarks:
+
+* **Mbench-Spin** spins the CPU with almost no data access — minimum cache
+  state pollution, so sampling shows its floor cost;
+* **Mbench-Data** repeatedly streams through 16 MB of memory — it replaces
+  the entire cache state quickly, so sampling code takes extra misses
+  (surfacing as additional L2 references and cycles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import RequestSpec, single_stage
+from repro.workloads.util import phase
+
+
+class MbenchSpin:
+    """CPU spin loop with almost no data access (zero cache footprint)."""
+
+    name = "mbench_spin"
+    sampling_period_us = 100.0
+    window_instructions = 100_000
+    kinds = ("spin",)
+
+    def __init__(self, instructions: int = 30_000_000):
+        self.instructions = instructions
+
+    def sample_request(self, rng: np.random.Generator, request_id: int) -> RequestSpec:
+        return RequestSpec(
+            request_id=request_id,
+            app=self.name,
+            kind="spin",
+            stages=single_stage(
+                "mbench",
+                [
+                    phase(
+                        "spin",
+                        self.instructions,
+                        cpi=1.0,
+                        refs=0.0,
+                        miss=0.0,
+                        footprint=0.0,
+                        rate=1 / 100_000,
+                        pool=("getpid",),
+                    )
+                ],
+            ),
+        )
+
+
+class MbenchData:
+    """Sequential streaming over a 16 MB working set (full cache pollution)."""
+
+    name = "mbench_data"
+    sampling_period_us = 100.0
+    window_instructions = 100_000
+    kinds = ("data",)
+
+    def __init__(self, instructions: int = 30_000_000):
+        self.instructions = instructions
+
+    def sample_request(self, rng: np.random.Generator, request_id: int) -> RequestSpec:
+        return RequestSpec(
+            request_id=request_id,
+            app=self.name,
+            kind="data",
+            stages=single_stage(
+                "mbench",
+                [
+                    phase(
+                        "stream_16mb",
+                        self.instructions,
+                        cpi=1.0,
+                        refs=0.020,
+                        miss=0.90,
+                        footprint=1.0,
+                        rate=1 / 100_000,
+                        pool=("getpid",),
+                    )
+                ],
+            ),
+        )

@@ -1,0 +1,175 @@
+"""RUBiS — a three-tier J2EE online auction service.
+
+RUBiS runs a front-end web server, nine business-logic Enterprise Java Bean
+components, and a back-end MySQL database; a request propagates across all
+three tiers through socket operations, which is exactly the request-context
+propagation the paper's kernel tracker must follow.  The componentized
+architecture also makes system calls frequent (72% probability of a syscall
+within 16 us of any instant, Figure 4).  A typical request executes a few
+million instructions (Figure 2 shows SearchItemsByCategory spanning ~4-5 M).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.workloads.base import Phase, RequestSpec, Stage
+from repro.workloads.util import jittered, jittered_int, phase
+
+_WEB_POOL = ("read", "writev", "poll")
+_EJB_POOL = ("read", "write", "futex")
+_DB_POOL = ("pread64", "read", "write")
+
+#: The nine EJB components of RUBiS.
+EJB_COMPONENTS = (
+    "IDManager",
+    "Category",
+    "Region",
+    "User",
+    "Item",
+    "Bid",
+    "Buy",
+    "Comment",
+    "Query",
+)
+
+#: Request kinds: (name, probability, EJB components touched,
+#: DB work in mega-instructions, EJB work in mega-instructions).
+INTERACTION_MIX = (
+    ("BrowseCategories", 0.12, ("Category",), 0.3, 0.6),
+    ("SearchItemsByCategory", 0.22, ("Category", "Item", "Query"), 1.6, 1.2),
+    ("SearchItemsByRegion", 0.10, ("Region", "Item", "Query"), 1.5, 1.2),
+    ("ViewItem", 0.22, ("Item", "Bid"), 0.8, 0.9),
+    ("ViewUserInfo", 0.08, ("User", "Comment"), 0.7, 0.8),
+    ("PutBid", 0.10, ("Item", "Bid", "User"), 0.6, 1.1),
+    ("StoreBid", 0.08, ("Bid", "IDManager"), 0.9, 0.9),
+    ("AboutMe", 0.08, ("User", "Item", "Bid", "Comment"), 1.8, 1.5),
+)
+
+
+class RubisWorkload:
+    """Generator for RUBiS auction-site interactions."""
+
+    name = "rubis"
+    sampling_period_us = 100.0
+    window_instructions = 100_000
+    kinds = tuple(i[0] for i in INTERACTION_MIX)
+
+    def sample_request(self, rng: np.random.Generator, request_id: int) -> RequestSpec:
+        mix = np.array([i[1] for i in INTERACTION_MIX])
+        idx = int(rng.choice(len(INTERACTION_MIX), p=mix / mix.sum()))
+        kind, _, components, db_mega, ejb_mega = INTERACTION_MIX[idx]
+        category = int(rng.integers(20))
+
+        web_in = [
+            phase(
+                "tomcat_parse",
+                jittered_int(rng, 180_000, 0.12),
+                cpi=jittered(rng, 1.45, 0.08),
+                refs=0.014,
+                miss=0.22,
+                footprint=0.35,
+                entry="read",
+                rate=1 / 14_000,
+                pool=_WEB_POOL,
+            )
+        ]
+
+        ejb_phases: List[Phase] = []
+        per_component = ejb_mega * 1_000_000 / len(components)
+        for component in components:
+            ejb_phases.append(
+                phase(
+                    f"ejb_{component}",
+                    jittered_int(rng, per_component, 0.18),
+                    cpi=jittered(rng, 1.75, 0.10),
+                    refs=jittered(rng, 0.022, 0.12),
+                    miss=0.26,
+                    footprint=0.55,
+                    entry="read",
+                    rate=1 / 14_000,
+                    pool=_EJB_POOL,
+                )
+            )
+            # JIT/GC interleaving bursts typical of a JVM app server.
+            if rng.random() < 0.30:
+                ejb_phases.append(
+                    phase(
+                        f"jvm_gc_{component}",
+                        jittered_int(rng, 150_000, 0.30),
+                        cpi=jittered(rng, 2.4, 0.15),
+                        refs=0.030,
+                        miss=0.40,
+                        footprint=0.70,
+                        rate=1 / 30_000,
+                        pool=_EJB_POOL,
+                    )
+                )
+
+        db_phases = [
+            phase(
+                "db_parse",
+                jittered_int(rng, 100_000, 0.12),
+                cpi=jittered(rng, 1.10, 0.08),
+                refs=0.006,
+                miss=0.12,
+                footprint=0.20,
+                entry="read",
+                rate=1 / 20_000,
+                pool=_DB_POOL,
+            ),
+            phase(
+                "db_execute",
+                jittered_int(rng, db_mega * 1_000_000, 0.20),
+                cpi=jittered(rng, 1.30, 0.08),
+                refs=jittered(rng, 0.024, 0.10),
+                miss=0.38,
+                footprint=0.85,
+                rate=1 / 12_000,
+                pool=_DB_POOL,
+            ),
+        ]
+
+        render = [
+            phase(
+                "ejb_render",
+                jittered_int(rng, 350_000, 0.15),
+                cpi=jittered(rng, 1.85, 0.10),
+                refs=0.016,
+                miss=0.24,
+                footprint=0.40,
+                entry="read",
+                rate=1 / 14_000,
+                pool=_EJB_POOL,
+            )
+        ]
+        web_out = [
+            phase(
+                "tomcat_respond",
+                jittered_int(rng, 220_000, 0.12),
+                cpi=jittered(rng, 1.55, 0.08),
+                refs=0.012,
+                miss=0.20,
+                footprint=0.30,
+                entry="writev",
+                rate=1 / 14_000,
+                pool=_WEB_POOL,
+            )
+        ]
+
+        stages = (
+            Stage(tier="tomcat", phases=tuple(web_in)),
+            Stage(tier="jboss", phases=tuple(ejb_phases)),
+            Stage(tier="mysql", phases=tuple(db_phases)),
+            Stage(tier="jboss_render", phases=tuple(render)),
+            Stage(tier="tomcat_out", phases=tuple(web_out)),
+        )
+        return RequestSpec(
+            request_id=request_id,
+            app=self.name,
+            kind=kind,
+            stages=stages,
+            metadata={"category": category, "components": components},
+        )

@@ -1,0 +1,49 @@
+"""Small helpers shared by the workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hardware.cpu import PhaseBehavior
+from repro.workloads.base import Phase
+
+
+def jittered(rng: np.random.Generator, value: float, frac: float) -> float:
+    """Multiplicatively jitter ``value`` by a ~N(0, frac) factor.
+
+    Floored at half the nominal value so rare large negative draws cannot
+    produce non-positive rates.
+    """
+    return max(0.5 * value, value * (1.0 + frac * rng.standard_normal()))
+
+
+def jittered_int(rng: np.random.Generator, value: float, frac: float, lo: int = 1000) -> int:
+    """Jittered instruction count, floored to a sane minimum."""
+    return max(lo, int(round(jittered(rng, value, frac))))
+
+
+def phase(
+    name: str,
+    instructions: int,
+    cpi: float,
+    refs: float,
+    miss: float,
+    footprint: float,
+    entry: str = None,
+    rate: float = 0.0,
+    pool: tuple = (),
+) -> Phase:
+    """Terse phase constructor used throughout the generators."""
+    return Phase(
+        name=name,
+        instructions=int(instructions),
+        behavior=PhaseBehavior(
+            base_cpi=cpi,
+            l2_refs_per_ins=refs,
+            l2_miss_ratio=miss,
+            cache_footprint=footprint,
+        ),
+        entry_syscall=entry,
+        syscall_rate_per_ins=rate,
+        syscall_pool=pool,
+    )

@@ -1,0 +1,170 @@
+"""WeBWorK — user-content-driven online math homework application.
+
+WeBWorK requests interpret teacher-supplied problem scripts (the paper's
+deployment has ~3,000 problem sets) and are by far the longest of the five
+applications: several hundred million instructions (Figure 2 shows one at
+~600 M).  Three properties from the paper shape the model:
+
+* the early part of every request follows *identical* processing semantics
+  (Apache dispatch, Perl interpreter startup, Moodle session handling) —
+  this is why online signatures built from the first 10 M instructions
+  cannot identify WeBWorK requests (Figure 10);
+* the later portion runs through a large number of fine-grained Perl
+  modules, producing unstable CPI fluctuations that do not form long stable
+  phases (Figure 2);
+* processing is compute-intensive with few system calls (81% probability of
+  a syscall only within 1 ms, Figure 4) and a tiny shared-cache footprint,
+  so multicore co-running barely affects it (Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.workloads.base import Phase, RequestSpec, single_stage
+from repro.workloads.util import jittered, jittered_int, phase
+
+_PERL_POOL = ("brk", "mmap", "stat")
+
+#: Number of distinct teacher-created problem sets in the deployment.
+NUM_PROBLEMS = 3_000
+
+#: The identical prelude every request executes: (name, instructions, cpi,
+#: entry syscall).  Total ~22 M instructions, beyond the 10 M prefix that
+#: Figure 10 shows is insufficient for identification.
+_PRELUDE = (
+    ("apache_dispatch", 2_000_000, 1.15, "read"),
+    ("perl_startup", 6_000_000, 1.30, "stat"),
+    ("moodle_session", 5_000_000, 1.25, "open"),
+    ("course_load", 6_000_000, 1.35, "read"),
+    ("problem_fetch", 3_000_000, 1.20, "open"),
+)
+
+
+class WeBWorKWorkload:
+    """Generator for WeBWorK problem-rendering requests."""
+
+    name = "webwork"
+    sampling_period_us = 1_000.0
+    window_instructions = 2_000_000
+    kinds = tuple(f"problem_{i}" for i in range(NUM_PROBLEMS))
+
+    def sample_request(self, rng: np.random.Generator, request_id: int) -> RequestSpec:
+        problem_id = int(rng.integers(NUM_PROBLEMS))
+        return self.build_problem(rng, request_id, problem_id)
+
+    def build_problem(
+        self, rng: np.random.Generator, request_id: int, problem_id: int
+    ) -> RequestSpec:
+        """Materialize one request rendering a specific problem."""
+        phases: List[Phase] = []
+
+        # Identical prelude (near-zero jitter: same code path every time).
+        for name, ins, cpi, entry in _PRELUDE:
+            phases.append(
+                phase(
+                    name,
+                    jittered_int(rng, ins, 0.01),
+                    cpi=jittered(rng, cpi, 0.01),
+                    refs=0.002,
+                    miss=0.15,
+                    footprint=0.05,
+                    entry=entry,
+                    rate=1 / 1_200_000,
+                    pool=_PERL_POOL,
+                )
+            )
+
+        # Problem-specific translation/compute: deterministic per problem id
+        # (the problem script is fixed content), so requests for the same
+        # problem share macro structure.
+        problem_rng = np.random.default_rng(problem_id)
+        n_macro = int(problem_rng.integers(5, 11))
+        macro_plan = [
+            (
+                float(problem_rng.uniform(8e6, 30e6)),
+                float(problem_rng.uniform(1.05, 1.65)),
+            )
+            for _ in range(n_macro)
+        ]
+        for step, (ins, cpi) in enumerate(macro_plan):
+            phases.append(
+                phase(
+                    f"translate_{step}",
+                    jittered_int(rng, ins, 0.04),
+                    cpi=jittered(rng, cpi, 0.03),
+                    refs=0.002,
+                    miss=0.15,
+                    footprint=0.05,
+                    rate=1 / 1_200_000,
+                    pool=_PERL_POOL,
+                )
+            )
+
+        # Unstable render tail: many fine-grained Perl-module phases.  The
+        # tail *structure* (which modules run, their lengths and inherent
+        # CPIs, where graphics bursts fall) is determined by the problem
+        # content — two requests for the same problem share the same
+        # instruction stream, which is what makes reference-driven anomaly
+        # analysis (Figure 9) meaningful — while per-request jitter stays
+        # small.
+        n_tail = int(problem_rng.integers(35, 75))
+        for step in range(n_tail):
+            if problem_rng.random() < 0.12:
+                # Graphics rendering burst: the one WeBWorK activity with a
+                # real shared-cache footprint.
+                phases.append(
+                    phase(
+                        f"render_gfx_{step}",
+                        jittered_int(
+                            rng, float(problem_rng.uniform(2e6, 4e6)), 0.03
+                        ),
+                        cpi=jittered(rng, 2.3, 0.03),
+                        refs=0.012,
+                        miss=0.35,
+                        footprint=0.35,
+                        rate=1 / 1_200_000,
+                        pool=_PERL_POOL,
+                    )
+                )
+            else:
+                phases.append(
+                    phase(
+                        f"perl_module_{step}",
+                        jittered_int(
+                            rng, float(problem_rng.uniform(0.8e6, 4e6)), 0.03
+                        ),
+                        cpi=jittered(
+                            rng, float(problem_rng.uniform(0.95, 2.05)), 0.03
+                        ),
+                        refs=0.002,
+                        miss=0.15,
+                        footprint=0.05,
+                        rate=1 / 1_200_000,
+                        pool=_PERL_POOL,
+                    )
+                )
+
+        phases.append(
+            phase(
+                "answer_save",
+                jittered_int(rng, 3_000_000, 0.10),
+                cpi=jittered(rng, 1.20, 0.05),
+                refs=0.003,
+                miss=0.12,
+                footprint=0.08,
+                entry="write",
+                rate=1 / 1_000_000,
+                pool=_PERL_POOL,
+            )
+        )
+
+        return RequestSpec(
+            request_id=request_id,
+            app=self.name,
+            kind=f"problem_{problem_id}",
+            stages=single_stage("apache_modperl", phases),
+            metadata={"problem_id": problem_id},
+        )

@@ -1,0 +1,54 @@
+"""Tests for cross-platform performance projection."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.analysis.projection import project_population, project_trace
+from repro.hardware.platform import WOODCREST
+
+
+class TestProjectTrace:
+    def test_identity_projection(self, tpch_run):
+        trace = tpch_run.traces[0]
+        result = project_trace(trace, WOODCREST, WOODCREST)
+        assert result.projected_cycles == pytest.approx(trace.total_cycles)
+        assert result.projected_cpi == pytest.approx(trace.overall_cpi())
+
+    def test_faster_memory_reduces_cpi(self, tpch_run):
+        trace = tpch_run.traces[0]
+        fast_memory = replace(WOODCREST, l2_miss_penalty_cycles=110.0)
+        result = project_trace(trace, WOODCREST, fast_memory)
+        assert result.projected_cpi < result.observed_cpi
+
+    def test_slower_memory_increases_cpi(self, tpch_run):
+        trace = tpch_run.traces[0]
+        slow_memory = replace(WOODCREST, l2_miss_penalty_cycles=440.0)
+        result = project_trace(trace, WOODCREST, slow_memory)
+        assert result.projected_cpi > result.observed_cpi
+
+    def test_memory_bound_app_more_sensitive(self, tpch_run, web_run):
+        """TPCH (miss-heavy) must respond more strongly to memory latency
+        than compute-heavy requests — the point of per-period projection."""
+        fast_memory = replace(WOODCREST, l2_miss_penalty_cycles=110.0)
+        tpch = project_trace(tpch_run.traces[0], WOODCREST, fast_memory)
+        web = project_trace(web_run.traces[0], WOODCREST, fast_memory)
+        tpch_gain = 1 - tpch.projected_cpi / tpch.observed_cpi
+        web_gain = 1 - web.projected_cpi / web.observed_cpi
+        assert tpch_gain > web_gain
+
+    def test_frequency_affects_time_not_cycles(self, web_run):
+        trace = web_run.traces[0]
+        fast_clock = replace(WOODCREST, frequency_ghz=6.0)
+        result = project_trace(trace, WOODCREST, fast_clock)
+        assert result.projected_cycles == pytest.approx(trace.total_cycles)
+        assert result.projected_cpu_time_us == pytest.approx(
+            trace.cpu_time_us() / 2.0
+        )
+
+
+class TestProjectPopulation:
+    def test_shapes(self, web_run):
+        cpis, times = project_population(web_run.traces, WOODCREST, WOODCREST)
+        assert cpis.shape == times.shape == (len(web_run.traces),)
+        assert np.all(cpis > 0) and np.all(times > 0)

@@ -1,0 +1,185 @@
+"""Tests for weighted statistics primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    histogram,
+    root_mean_square_error,
+    weighted_mean,
+    weighted_percentile,
+)
+
+
+def finite_floats(lo, hi):
+    return st.floats(lo, hi, allow_nan=False, allow_infinity=False)
+
+
+class TestWeightedMean:
+    def test_uniform_weights_equal_plain_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert weighted_mean(values) == pytest.approx(2.5)
+
+    def test_weights_shift_mean(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_zero_weight_value_ignored(self):
+        assert weighted_mean([1.0, 100.0], [1.0, 0.0]) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_mean([])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0, 2.0], [1.0])
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [-1.0])
+
+    def test_all_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0, 2.0], [0.0, 0.0])
+
+    @given(
+        st.lists(finite_floats(-1e6, 1e6), min_size=1, max_size=30),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mean_within_value_range(self, values, data):
+        weights = data.draw(
+            st.lists(
+                finite_floats(0.01, 100.0),
+                min_size=len(values),
+                max_size=len(values),
+            )
+        )
+        mean = weighted_mean(values, weights)
+        assert min(values) - 1e-6 <= mean <= max(values) + 1e-6
+
+
+class TestCoefficientOfVariation:
+    def test_constant_series_is_zero(self):
+        assert coefficient_of_variation([2.0] * 5) == pytest.approx(0.0)
+
+    def test_matches_equation_one(self):
+        # Hand-computed Equation 1 example.
+        values = np.array([1.0, 3.0])
+        weights = np.array([1.0, 1.0])
+        # xbar = 2, variance = (1 + 1)/2 = 1, cov = 1/2.
+        assert coefficient_of_variation(values, weights) == pytest.approx(0.5)
+
+    def test_explicit_overall_changes_result(self):
+        values = [1.0, 3.0]
+        default = coefficient_of_variation(values)
+        shifted = coefficient_of_variation(values, overall=4.0)
+        assert default != shifted
+
+    def test_longer_periods_weigh_more(self):
+        values = [1.0, 10.0]
+        light = coefficient_of_variation(values, [10.0, 0.1])
+        heavy = coefficient_of_variation(values, [0.1, 10.0])
+        assert light != heavy
+
+    def test_zero_overall_raises(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([0.0, 0.0])
+
+    @given(
+        st.lists(finite_floats(0.5, 100.0), min_size=2, max_size=20),
+        finite_floats(1.1, 10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scale_invariance(self, values, factor):
+        """CoV is invariant under scaling all values by a constant."""
+        base = coefficient_of_variation(values)
+        scaled = coefficient_of_variation([v * factor for v in values])
+        assert scaled == pytest.approx(base, rel=1e-9)
+
+
+class TestWeightedPercentile:
+    def test_median_of_uniform(self):
+        assert weighted_percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        assert weighted_percentile(values, 0) == 1.0
+        assert weighted_percentile(values, 100) == 3.0
+
+    def test_weights_shift_percentile(self):
+        values = [1.0, 2.0]
+        assert weighted_percentile(values, 60, [9.0, 1.0]) == 1.0
+        assert weighted_percentile(values, 60, [1.0, 9.0]) == 2.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            weighted_percentile([1.0], 101)
+
+    @given(
+        st.lists(finite_floats(-100, 100), min_size=1, max_size=30),
+        finite_floats(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_result_is_a_sample(self, values, q):
+        assert weighted_percentile(values, q) in values
+
+    @given(st.lists(finite_floats(-100, 100), min_size=2, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_q(self, values):
+        qs = [0, 25, 50, 75, 100]
+        results = [weighted_percentile(values, q) for q in qs]
+        assert results == sorted(results)
+
+
+class TestRmse:
+    def test_perfect_prediction(self):
+        assert root_mean_square_error([1, 2], [1, 2]) == 0.0
+
+    def test_known_value(self):
+        # errors 1 and 3, weights 1: sqrt((1+9)/2)
+        assert root_mean_square_error([2, 5], [1, 2]) == pytest.approx(
+            np.sqrt(5.0)
+        )
+
+    def test_weights_match_equation_seven(self):
+        actual = np.array([1.0, 2.0])
+        predicted = np.array([0.0, 2.0])
+        # Only the first sample errs (error 1); weighted by 3 of total 4.
+        rmse = root_mean_square_error(actual, predicted, weights=[3.0, 1.0])
+        assert rmse == pytest.approx(np.sqrt(0.75))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            root_mean_square_error([1.0], [1.0, 2.0])
+
+
+class TestHistogram:
+    def test_probabilities_sum_to_one(self):
+        h = histogram([1.0, 2.0, 3.0], 0.0, 4.0, 0.5)
+        assert h.probabilities.sum() == pytest.approx(1.0)
+
+    def test_out_of_range_clamped(self):
+        h = histogram([-10.0, 10.0], 0.0, 1.0, 0.5)
+        assert h.probabilities.sum() == pytest.approx(1.0)
+        assert h.probabilities[0] == pytest.approx(0.5)
+        assert h.probabilities[-1] == pytest.approx(0.5)
+
+    def test_bin_width_property(self):
+        h = histogram([0.1], 0.0, 1.0, 0.25)
+        assert h.bin_width == pytest.approx(0.25)
+
+    def test_mode_bin(self):
+        h = histogram([1.1, 1.2, 1.15, 3.0], 1.0, 4.0, 0.5)
+        assert 1.0 <= h.mode_bin() <= 1.5
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], 2.0, 1.0, 0.1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            histogram([], 0.0, 1.0, 0.1)

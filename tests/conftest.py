@@ -1,0 +1,60 @@
+"""Shared fixtures: small cached simulation runs reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.platform import serial_machine
+from repro.kernel.sampling import SamplingPolicy
+from repro.kernel.simulator import ServerSimulator, SimConfig
+from repro.workloads.registry import make_workload
+
+
+def run_small(app, num_requests=20, seed=5, cores=4, concurrency=None, **overrides):
+    workload = make_workload(app)
+    if cores == 1:
+        machine = serial_machine()
+        concurrency = concurrency or 1
+    else:
+        from repro.hardware.platform import WOODCREST
+
+        machine = WOODCREST
+        concurrency = concurrency or 8
+    config = SimConfig(
+        machine=machine,
+        sampling=overrides.pop(
+            "sampling", SamplingPolicy.interrupt(workload.sampling_period_us)
+        ),
+        num_requests=num_requests,
+        concurrency=concurrency,
+        seed=seed,
+        **overrides,
+    )
+    return ServerSimulator(workload, config).run()
+
+
+@pytest.fixture(scope="session")
+def web_run():
+    """A small concurrent web-server run shared by many tests."""
+    return run_small("webserver", num_requests=40, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tpcc_run():
+    return run_small("tpcc", num_requests=40, seed=6)
+
+
+@pytest.fixture(scope="session")
+def tpch_run():
+    return run_small("tpch", num_requests=10, seed=7)
+
+
+@pytest.fixture(scope="session")
+def web_serial_run():
+    return run_small("webserver", num_requests=15, seed=8, cores=1)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,110 @@
+"""Tests for anomaly detection (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.anomaly import (
+    detect_by_centroid_distance,
+    detect_multi_metric_pairs,
+    group_centroid,
+)
+
+
+def l1(a, b):
+    return float(np.abs(np.asarray(a) - np.asarray(b)).sum())
+
+
+class TestGroupCentroid:
+    def test_median_like_point(self):
+        points = np.array([0.0, 1.0, 2.0, 10.0])
+        matrix = np.abs(points[:, None] - points[None, :])
+        assert group_centroid(matrix) == 1
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            group_centroid(np.zeros((2, 3)))
+
+
+class TestCentroidDistanceDetection:
+    def make_group(self):
+        # Five similar sequences plus one clear outlier.
+        normal = [np.array([1.0, 2.0, 1.0]) + 0.01 * k for k in range(5)]
+        outlier = np.array([8.0, 9.0, 8.0])
+        return normal + [outlier]
+
+    def test_flags_the_outlier(self):
+        sequences = self.make_group()
+        cases = detect_by_centroid_distance(
+            {"g": range(len(sequences))}, sequences, l1
+        )
+        assert cases[0].anomaly_index == 5
+
+    def test_reference_is_centroid(self):
+        sequences = self.make_group()
+        cases = detect_by_centroid_distance(
+            {"g": range(len(sequences))}, sequences, l1
+        )
+        assert cases[0].reference_index in range(5)
+
+    def test_small_groups_skipped(self):
+        sequences = self.make_group()[:3]
+        cases = detect_by_centroid_distance(
+            {"g": range(3)}, sequences, l1, min_group_size=4
+        )
+        assert cases == []
+
+    def test_top_per_group(self):
+        sequences = self.make_group()
+        cases = detect_by_centroid_distance(
+            {"g": range(len(sequences))}, sequences, l1, top_per_group=3
+        )
+        assert len(cases) == 3
+        scores = [c.score for c in cases]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_multiple_groups(self):
+        sequences = self.make_group() + self.make_group()
+        groups = {"a": range(6), "b": range(6, 12)}
+        cases = detect_by_centroid_distance(groups, sequences, l1)
+        assert {c.group for c in cases} == {"a", "b"}
+
+
+class TestMultiMetricDetection:
+    def test_finds_same_work_different_cpi_pair(self):
+        refs = [
+            np.array([1.0, 1.0]),   # A
+            np.array([1.0, 1.05]),  # B: same reference stream as A
+            np.array([9.0, 9.0]),   # C: different work
+        ]
+        cpi = [
+            np.array([2.0, 2.0]),   # A: normal
+            np.array([6.0, 6.0]),   # B: suffers contention
+            np.array([2.0, 2.0]),   # C
+        ]
+        cases = detect_multi_metric_pairs(
+            refs, cpi, ref_distance=l1, cpi_distance=l1,
+            ref_similarity_quantile=40.0, top_pairs=1,
+        )
+        case = cases[0]
+        assert {case.anomaly_index, case.reference_index} == {0, 1}
+        # The higher-CPI member is the anomaly.
+        assert case.anomaly_index == 1
+
+    def test_no_candidates_empty(self):
+        assert detect_multi_metric_pairs([], [], l1, l1) == []
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            detect_multi_metric_pairs([np.array([1.0])], [], l1, l1)
+
+    def test_candidate_pairs_respected(self):
+        refs = [np.array([1.0]), np.array([1.0]), np.array([1.0])]
+        cpi = [np.array([1.0]), np.array([9.0]), np.array([5.0])]
+        cases = detect_multi_metric_pairs(
+            refs, cpi, l1, l1,
+            ref_similarity_quantile=100.0,
+            candidate_pairs=[(0, 1)],
+            top_pairs=5,
+        )
+        assert len(cases) == 1
+        assert {cases[0].anomaly_index, cases[0].reference_index} == {0, 1}

@@ -1,0 +1,148 @@
+"""Tests for k-medoids classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import (
+    KMedoidsResult,
+    distance_matrix,
+    divergence_from_centroid,
+    k_medoids,
+)
+
+
+def blob_matrix(rng, centers, per_cluster=8, spread=0.2):
+    """1-D blobs -> pairwise distance matrix and true labels."""
+    points = []
+    labels = []
+    for label, center in enumerate(centers):
+        points.extend(center + spread * rng.standard_normal(per_cluster))
+        labels.extend([label] * per_cluster)
+    points = np.array(points)
+    matrix = np.abs(points[:, None] - points[None, :])
+    return points, matrix, np.array(labels)
+
+
+class TestDistanceMatrix:
+    def test_symmetric_from_callable(self):
+        items = [1.0, 4.0, 6.0]
+        matrix = distance_matrix(items, lambda a, b: abs(a - b))
+        assert matrix[0, 1] == matrix[1, 0] == 3.0
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_asymmetric_mode(self):
+        items = [1.0, 2.0]
+        matrix = distance_matrix(items, lambda a, b: a - b, symmetric=False)
+        assert matrix[0, 1] == -1.0
+        assert matrix[1, 0] == 1.0
+
+
+class TestKMedoids:
+    def test_recovers_well_separated_clusters(self, rng):
+        points, matrix, truth = blob_matrix(rng, centers=[0.0, 10.0, 20.0])
+        result = k_medoids(matrix, k=3, rng=rng)
+        # Same-truth points share a cluster label.
+        for label in range(3):
+            members = result.labels[truth == label]
+            assert len(set(members.tolist())) == 1
+
+    def test_medoids_are_members(self, rng):
+        _, matrix, _ = blob_matrix(rng, centers=[0.0, 5.0])
+        result = k_medoids(matrix, k=2, rng=rng)
+        assert all(0 <= m < matrix.shape[0] for m in result.medoids)
+
+    def test_labels_point_to_nearest_medoid(self, rng):
+        _, matrix, _ = blob_matrix(rng, centers=[0.0, 5.0, 9.0])
+        result = k_medoids(matrix, k=3, rng=rng)
+        for i in range(matrix.shape[0]):
+            assigned = result.medoids[result.labels[i]]
+            best = result.medoids[np.argmin(matrix[i, result.medoids])]
+            assert matrix[i, assigned] == pytest.approx(matrix[i, best])
+
+    def test_medoid_minimizes_within_cluster_sum(self, rng):
+        """The centroid-request definition from Section 4.2."""
+        _, matrix, _ = blob_matrix(rng, centers=[0.0, 8.0])
+        result = k_medoids(matrix, k=2, rng=rng)
+        for cluster, medoid in enumerate(result.medoids):
+            members = result.members(cluster)
+            sums = matrix[np.ix_(members, members)].sum(axis=1)
+            assert matrix[medoid, members].sum() == pytest.approx(sums.min())
+
+    def test_k_equals_n(self, rng):
+        matrix = np.abs(np.subtract.outer(np.arange(4.0), np.arange(4.0)))
+        result = k_medoids(matrix, k=4, rng=rng)
+        assert result.total_cost == 0.0
+
+    def test_k_one(self, rng):
+        matrix = np.abs(np.subtract.outer(np.arange(5.0), np.arange(5.0)))
+        result = k_medoids(matrix, k=1, rng=rng)
+        assert np.all(result.labels == 0)
+        assert result.medoids[0] == 2  # the geometric median of 0..4
+
+    def test_invalid_k(self, rng):
+        matrix = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            k_medoids(matrix, k=0, rng=rng)
+        with pytest.raises(ValueError):
+            k_medoids(matrix, k=4, rng=rng)
+
+    def test_non_square_rejected(self, rng):
+        with pytest.raises(ValueError):
+            k_medoids(np.zeros((2, 3)), k=1, rng=rng)
+
+    def test_duplicate_points_handled(self, rng):
+        matrix = np.zeros((6, 6))
+        result = k_medoids(matrix, k=3, rng=rng)
+        assert len(set(result.medoids.tolist())) == 3
+
+    def test_deterministic_given_rng(self):
+        rng = np.random.default_rng(7)
+        _, matrix, _ = blob_matrix(rng, centers=[0.0, 5.0, 11.0])
+        r1 = k_medoids(matrix, k=3, rng=np.random.default_rng(1))
+        r2 = k_medoids(matrix, k=3, rng=np.random.default_rng(1))
+        assert np.array_equal(r1.labels, r2.labels)
+
+    @given(st.integers(2, 5), st.integers(6, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_total_cost_nonincreasing_vs_k1(self, k, n):
+        rng = np.random.default_rng(n * 13 + k)
+        points = rng.random(n) * 10
+        matrix = np.abs(points[:, None] - points[None, :])
+        many = k_medoids(matrix, k=min(k, n), rng=np.random.default_rng(0))
+        one = k_medoids(matrix, k=1, rng=np.random.default_rng(0))
+        assert many.total_cost <= one.total_cost + 1e-9
+
+
+class TestDivergence:
+    def test_zero_when_properties_match_centroids(self):
+        result = KMedoidsResult(
+            medoids=np.array([0, 1]),
+            labels=np.array([0, 1, 0, 1]),
+            iterations=1,
+            total_cost=0.0,
+        )
+        properties = np.array([2.0, 4.0, 2.0, 4.0])
+        assert divergence_from_centroid(properties, result) == 0.0
+
+    def test_known_value(self):
+        result = KMedoidsResult(
+            medoids=np.array([0]),
+            labels=np.array([0, 0]),
+            iterations=1,
+            total_cost=0.0,
+        )
+        properties = np.array([2.0, 3.0])
+        # |3-2|/2 averaged over both members = 0.25
+        assert divergence_from_centroid(properties, result) == pytest.approx(0.25)
+
+    def test_zero_centroid_value_rejected(self):
+        result = KMedoidsResult(
+            medoids=np.array([0]),
+            labels=np.array([0]),
+            iterations=1,
+            total_cost=0.0,
+        )
+        with pytest.raises(ValueError):
+            divergence_from_centroid(np.array([0.0]), result)

@@ -1,0 +1,136 @@
+"""Tests for the non-DTW differencing measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import (
+    average_metric_distance,
+    l1_distance,
+    levenshtein_distance,
+    unequal_length_penalty,
+)
+
+value_lists = st.lists(
+    st.floats(-50, 50, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=15,
+)
+token_lists = st.lists(st.sampled_from("abcde"), min_size=0, max_size=12)
+
+
+def levenshtein_reference(a, b):
+    """Textbook recursive edit distance with memoization."""
+    from functools import lru_cache
+
+    @lru_cache(maxsize=None)
+    def rec(i, j):
+        if i == 0:
+            return j
+        if j == 0:
+            return i
+        return min(
+            rec(i - 1, j - 1) + (a[i - 1] != b[j - 1]),
+            rec(i - 1, j) + 1,
+            rec(i, j - 1) + 1,
+        )
+
+    return rec(len(a), len(b))
+
+
+class TestL1:
+    def test_equal_length_sum_of_abs_diffs(self):
+        assert l1_distance([1, 2, 3], [2, 2, 5], penalty=9.0) == pytest.approx(3.0)
+
+    def test_length_penalty_applied_per_surplus_element(self):
+        # Common prefix differs by 0; 2 surplus elements x penalty 3.
+        assert l1_distance([1.0], [1.0, 5.0, 7.0], penalty=3.0) == pytest.approx(6.0)
+
+    def test_identical_zero(self):
+        assert l1_distance([1, 2], [1, 2], penalty=1.0) == 0.0
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            l1_distance([1.0], [1.0], penalty=-1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            l1_distance([], [], penalty=1.0)
+
+    @given(value_lists, value_lists, st.floats(0, 10, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, x, y, p):
+        assert l1_distance(x, y, p) == pytest.approx(l1_distance(y, x, p))
+
+    @given(value_lists, st.floats(0, 10, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_self_distance_zero(self, x, p):
+        assert l1_distance(x, x, p) == 0.0
+
+
+class TestAverageMetric:
+    def test_known_value(self):
+        assert average_metric_distance([1.0, 3.0], [4.0]) == pytest.approx(2.0)
+
+    def test_insensitive_to_pattern(self):
+        """The prior-work signature's blind spot: different patterns with
+        equal averages are indistinguishable."""
+        spiky = [0.0, 10.0]
+        flat = [5.0, 5.0]
+        assert average_metric_distance(spiky, flat) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_metric_distance([], [1.0])
+
+
+class TestLevenshtein:
+    @given(token_lists, token_lists)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_reference(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_reference(
+            tuple(a), tuple(b)
+        )
+
+    def test_known_example(self):
+        assert levenshtein_distance(list("kitten"), list("sitting")) == 3
+
+    def test_empty_cases(self):
+        assert levenshtein_distance([], ["a", "b"]) == 2
+        assert levenshtein_distance(["a"], []) == 1
+        assert levenshtein_distance([], []) == 0
+
+    def test_arbitrary_tokens(self):
+        a = ["writev", "read", "poll"]
+        b = ["writev", "poll"]
+        assert levenshtein_distance(a, b) == 1
+
+    @given(token_lists, token_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(token_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_self_distance_zero(self, a):
+        assert levenshtein_distance(a, a) == 0
+
+    @given(token_lists, token_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+
+class TestUnequalLengthPenalty:
+    def test_constant_values_zero_penalty(self, rng):
+        assert unequal_length_penalty([2.0] * 10, rng) == 0.0
+
+    def test_captures_peak_difference(self, rng):
+        values = np.concatenate([np.ones(99), [100.0]])
+        p = unequal_length_penalty(values, rng, n_pairs=50_000)
+        assert p > 50.0  # 99-percentile pair difference sees the peak
+
+    def test_requires_two_values(self, rng):
+        with pytest.raises(ValueError):
+            unequal_length_penalty([1.0], rng)

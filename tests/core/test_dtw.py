@@ -1,0 +1,130 @@
+"""Tests for dynamic time warping with asynchrony penalty."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dtw import dtw_distance
+
+value_lists = st.lists(
+    st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=12,
+)
+penalties = st.floats(0.0, 10.0, allow_nan=False)
+
+
+def dtw_reference(x, y, p):
+    """Straightforward O(mn) dynamic program, for cross-checking the
+    vectorized implementation."""
+    m, n = len(x), len(y)
+    d = np.full((m, n), np.inf)
+    d[0][0] = abs(x[0] - y[0])
+    for j in range(1, n):
+        d[0][j] = d[0][j - 1] + abs(x[0] - y[j]) + p
+    for i in range(1, m):
+        d[i][0] = d[i - 1][0] + abs(x[i] - y[0]) + p
+        for j in range(1, n):
+            d[i][j] = abs(x[i] - y[j]) + min(
+                d[i - 1][j - 1], d[i - 1][j] + p, d[i][j - 1] + p
+            )
+    return float(d[m - 1][n - 1])
+
+
+class TestAgainstReference:
+    @given(value_lists, value_lists, penalties)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, x, y, p):
+        fast = dtw_distance(x, y, asynchrony_penalty=p)
+        slow = dtw_reference(x, y, p)
+        assert fast == pytest.approx(slow, rel=1e-9, abs=1e-9)
+
+    def test_known_small_example(self):
+        # x = [0, 1], y = [0, 0, 1]: one asynchronous step absorbs the
+        # extra 0 at no metric cost.
+        assert dtw_distance([0, 1], [0, 0, 1]) == pytest.approx(0.0)
+        assert dtw_distance([0, 1], [0, 0, 1], asynchrony_penalty=2.0) == (
+            pytest.approx(2.0)
+        )
+
+
+class TestProperties:
+    @given(value_lists, penalties)
+    @settings(max_examples=60, deadline=None)
+    def test_identical_sequences_zero(self, x, p):
+        assert dtw_distance(x, x, asynchrony_penalty=p) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    @given(value_lists, value_lists, penalties)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, x, y, p):
+        assert dtw_distance(x, y, p) == pytest.approx(
+            dtw_distance(y, x, p), rel=1e-9, abs=1e-9
+        )
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_nonnegative(self, x, y):
+        assert dtw_distance(x, y) >= 0.0
+
+    @given(value_lists, value_lists, penalties, penalties)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_penalty(self, x, y, p1, p2):
+        lo, hi = sorted((p1, p2))
+        assert dtw_distance(x, y, hi) >= dtw_distance(x, y, lo) - 1e-9
+
+
+class TestTimeShifting:
+    def test_plain_dtw_absorbs_shift(self):
+        """A shifted peak costs plain DTW nothing but costs L1 a lot."""
+        base = np.zeros(20)
+        base[10] = 5.0
+        shifted = np.zeros(20)
+        shifted[12] = 5.0
+        assert dtw_distance(base, shifted) == pytest.approx(0.0)
+
+    def test_penalty_charges_for_shift(self):
+        base = np.zeros(20)
+        base[10] = 5.0
+        shifted = np.zeros(20)
+        shifted[12] = 5.0
+        d = dtw_distance(base, shifted, asynchrony_penalty=1.0)
+        assert d > 0.0
+        # Far cheaper than the naive element-wise difference (10.0).
+        assert d < 10.0
+
+    def test_no_cost_shifting_underestimates(self):
+        """The paper's criticism of plain DTW: genuinely different
+        sequences can be warped together almost for free."""
+        # Two peaks vs one peak: every warp step pays the metric difference
+        # at the pointer pair, so one 5-vs-0 mismatch (cost 5) is
+        # unavoidable; the penalty additionally charges the two
+        # asynchronous steps the unequal lengths force.
+        a = np.array([0.0, 5.0, 0.0, 5.0, 0.0])
+        b = np.array([0.0, 5.0, 0.0])
+        plain = dtw_distance(a, b)
+        assert plain == pytest.approx(5.0)
+        penalized = dtw_distance(a, b, asynchrony_penalty=4.0)
+        assert penalized == pytest.approx(5.0 + 2 * 4.0)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance([], [1.0])
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance([1.0], [1.0], asynchrony_penalty=-1.0)
+
+    def test_single_elements(self):
+        assert dtw_distance([2.0], [5.0]) == pytest.approx(3.0)
+
+    def test_large_sequences_fast(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(500)
+        y = rng.random(500)
+        d = dtw_distance(x, y, asynchrony_penalty=0.5)
+        assert np.isfinite(d)

@@ -1,0 +1,90 @@
+"""Tests for the end-to-end online identification pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.identification import OnlineIdentifier
+
+
+class TestLifecycle:
+    def test_unfitted_rejects_identify(self):
+        ident = OnlineIdentifier()
+        with pytest.raises(RuntimeError):
+            ident.identify([0.01])
+
+    def test_fit_sets_median_threshold(self, web_run):
+        ident = OnlineIdentifier(window_instructions=10_000).fit(web_run.traces)
+        cpu_times = [t.cpu_time_us() for t in web_run.traces]
+        assert ident.threshold_us == pytest.approx(np.median(cpu_times))
+        assert ident.is_fitted
+
+    def test_explicit_threshold_kept(self, web_run):
+        ident = OnlineIdentifier(
+            window_instructions=10_000, threshold_us=123.0
+        ).fit(web_run.traces)
+        assert ident.threshold_us == 123.0
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineIdentifier().fit([])
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineIdentifier(window_instructions=0)
+
+
+class TestIdentification:
+    @pytest.fixture()
+    def fitted(self, web_run):
+        half = len(web_run.traces) // 2
+        ident = OnlineIdentifier(window_instructions=10_000)
+        return ident.fit(web_run.traces[:half]), web_run.traces[half:]
+
+    def test_identify_returns_full_record(self, fitted):
+        ident, test_traces = fitted
+        pattern = ident.pattern_of(test_traces[0])
+        result = ident.identify(pattern[:3])
+        assert result.windows_used == 3
+        assert result.predicted_cpu_time_us > 0
+        assert result.matched_label in ("class0", "class1", "class2", "class3")
+
+    def test_identify_trace_prefix(self, fitted):
+        ident, test_traces = fitted
+        result = ident.identify_trace_prefix(test_traces[0], 30_000)
+        assert result.windows_used == 3
+
+    def test_full_pattern_beats_chance(self, fitted):
+        ident, test_traces = fitted
+        errors = ident.evaluate(test_traces, prefix_windows=[30])
+        assert errors[0] < 0.45
+
+    def test_evaluate_prefix_validation(self, fitted):
+        ident, test_traces = fitted
+        with pytest.raises(ValueError):
+            ident.evaluate(test_traces, prefix_windows=[0])
+
+    def test_average_method_supported(self, web_run):
+        ident = OnlineIdentifier(
+            window_instructions=10_000, method="average"
+        ).fit(web_run.traces)
+        pattern = ident.pattern_of(web_run.traces[0])
+        assert ident.identify(pattern[:2]).predicted_cpu_time_us > 0
+
+
+class TestCrossKindDiscrimination:
+    def test_tpcc_kinds_identified(self, tpcc_run):
+        """With the CPI metric, the matched label usually recovers the
+        transaction type — the classification power behind Figure 10."""
+        traces = tpcc_run.traces
+        half = len(traces) // 2
+        ident = OnlineIdentifier(
+            metric="cpi", window_instructions=100_000
+        ).fit(traces[:half])
+        hits = 0
+        total = 0
+        for trace in traces[half:]:
+            pattern = ident.pattern_of(trace)
+            result = ident.identify(pattern)
+            total += 1
+            hits += result.matched_label == trace.spec.kind
+        assert hits / total > 0.6

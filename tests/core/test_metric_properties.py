@@ -1,0 +1,144 @@
+"""Deeper property tests on the differencing measures and series math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import l1_distance, levenshtein_distance
+from repro.core.dtw import dtw_distance
+from repro.core.timeseries import MetricSeries
+
+tokens = st.lists(st.sampled_from("abcd"), min_size=0, max_size=10)
+values = st.lists(
+    st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestLevenshteinMetricAxioms:
+    """Unit-cost edit distance is a true metric on token sequences."""
+
+    @given(tokens, tokens, tokens)
+    @settings(max_examples=80, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        ab = levenshtein_distance(a, b)
+        bc = levenshtein_distance(b, c)
+        ac = levenshtein_distance(a, c)
+        assert ac <= ab + bc
+
+    @given(tokens, tokens)
+    @settings(max_examples=50, deadline=None)
+    def test_identity_of_indiscernibles(self, a, b):
+        distance = levenshtein_distance(a, b)
+        if a == b:
+            assert distance == 0
+        else:
+            assert distance > 0
+
+    @given(tokens, tokens)
+    @settings(max_examples=50, deadline=None)
+    def test_length_difference_lower_bound(self, a, b):
+        assert levenshtein_distance(a, b) >= abs(len(a) - len(b))
+
+
+class TestDtwBounds:
+    @given(values, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_dtw_bounded_by_synchronous_path(self, x, data):
+        """For equal-length sequences the all-synchronous path is valid,
+        so DTW never exceeds the element-wise L1 sum."""
+        y = data.draw(
+            st.lists(
+                st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False),
+                min_size=len(x),
+                max_size=len(x),
+            )
+        )
+        sync_cost = float(np.abs(np.asarray(x) - np.asarray(y)).sum())
+        assert dtw_distance(x, y, asynchrony_penalty=3.0) <= sync_cost + 1e-9
+
+    @given(values, values)
+    @settings(max_examples=60, deadline=None)
+    def test_dtw_lower_bound_endpoint_costs(self, x, y):
+        """Every warp path starts at (0,0) and ends at (m,n)."""
+        lower = abs(x[0] - y[0])
+        assert dtw_distance(x, y) >= lower - 1e-9
+
+    @given(values, values, st.floats(0.0, 5.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_penalized_dtw_at_most_l1(self, x, y, p):
+        """With the same per-step penalty, DTW minimizes over a superset of
+        the L1 alignment, so it can never exceed Equation 2's L1 distance
+        when the penalty per surplus element matches."""
+        l1 = l1_distance(x, y, penalty=p)
+        # L1's surplus elements correspond to |m-n| asynchronous steps plus
+        # the element-wise prefix; the DTW path set includes that path with
+        # cost <= l1 + |m-n| * max-value slack.  Use the strict equal-length
+        # case for exactness.
+        if len(x) == len(y):
+            assert dtw_distance(x, y, asynchrony_penalty=p) <= l1 + 1e-9
+
+
+class TestSeriesRoundTrips:
+    @given(values, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_prefix_total_length(self, vals, data):
+        lengths = data.draw(
+            st.lists(
+                st.floats(0.5, 10.0, allow_nan=False),
+                min_size=len(vals),
+                max_size=len(vals),
+            )
+        )
+        series = MetricSeries(values=np.array(vals), lengths=np.array(lengths))
+        cut = data.draw(st.floats(0.1, float(sum(lengths))))
+        prefix = series.prefix(cut)
+        assert prefix.total_length == pytest.approx(min(cut, series.total_length))
+
+    @given(values, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_resample_conserves_mass_on_covered_span(self, vals, data):
+        lengths = data.draw(
+            st.lists(
+                st.floats(1.0, 10.0, allow_nan=False),
+                min_size=len(vals),
+                max_size=len(vals),
+            )
+        )
+        series = MetricSeries(values=np.array(vals), lengths=np.array(lengths))
+        window = float(series.total_length)  # one window covering all
+        resampled = series.resample(window)
+        assert resampled.size == 1
+        assert resampled[0] == pytest.approx(series.mean(), rel=1e-9, abs=1e-9)
+
+
+class TestTraceWindowConsistency:
+    def test_window_metrics_match_overall(self, tpcc_run):
+        """Windowed counters aggregate back to whole-trace values, up to
+        the trailing partial window that window_counters drops by design."""
+        window = 25_000
+        for trace in tpcc_run.traces[:5]:
+            win = trace.window_counters(window)
+            covered = win["instructions"].sum()
+            assert covered == pytest.approx(
+                (trace.total_instructions // window) * window
+            )
+            assert trace.total_cycles - win["cycles"].sum() >= -1e-6
+            # The uncovered remainder is less than one window's worth.
+            max_period_cpi = float(
+                np.max(trace.cycles / np.maximum(trace.instructions, 1.0))
+            )
+            assert trace.total_cycles - win["cycles"].sum() <= (
+                window * max_period_cpi + 1e-6
+            )
+            overall_cpi = win["cycles"].sum() / covered
+            assert overall_cpi == pytest.approx(trace.overall_cpi(), rel=0.1)
+
+    def test_series_mean_matches_overall_metric(self, tpcc_run):
+        trace = tpcc_run.traces[0]
+        series = trace.series("l2_refs_per_ins", 25_000)
+        assert series.mean() == pytest.approx(
+            trace.overall("l2_refs_per_ins"), rel=0.05
+        )

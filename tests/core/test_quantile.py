@@ -1,0 +1,87 @@
+"""Tests for the P-square online quantile estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantile import OnlineQuantile
+
+
+class TestBasics:
+    def test_none_before_observations(self):
+        assert OnlineQuantile(q=0.8).estimate() is None
+
+    def test_small_sample_exact(self):
+        est = OnlineQuantile(q=0.5)
+        for v in (3.0, 1.0, 2.0):
+            est.observe(v)
+        assert est.estimate() in (1.0, 2.0, 3.0)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            OnlineQuantile(q=0.0)
+        with pytest.raises(ValueError):
+            OnlineQuantile(q=1.0)
+
+    def test_count(self):
+        est = OnlineQuantile()
+        for _ in range(12):
+            est.observe(1.0)
+        assert est.count == 12
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("q", [0.2, 0.5, 0.8, 0.95])
+    def test_uniform_distribution(self, q):
+        rng = np.random.default_rng(7)
+        est = OnlineQuantile(q=q)
+        data = rng.uniform(0.0, 1.0, 5000)
+        for v in data:
+            est.observe(v)
+        assert est.estimate() == pytest.approx(q, abs=0.05)
+
+    def test_normal_distribution_p80(self):
+        rng = np.random.default_rng(8)
+        est = OnlineQuantile(q=0.8)
+        data = rng.standard_normal(5000) * 2.0 + 10.0
+        for v in data:
+            est.observe(v)
+        assert est.estimate() == pytest.approx(np.percentile(data, 80), rel=0.03)
+
+    def test_heavy_tailed_distribution(self):
+        rng = np.random.default_rng(9)
+        est = OnlineQuantile(q=0.8)
+        data = rng.exponential(1.0, 5000)
+        for v in data:
+            est.observe(v)
+        assert est.estimate() == pytest.approx(np.percentile(data, 80), rel=0.1)
+
+    def test_adapts_to_level_shift(self):
+        est = OnlineQuantile(q=0.8)
+        rng = np.random.default_rng(10)
+        for v in rng.uniform(0, 1, 500):
+            est.observe(v)
+        for v in rng.uniform(10, 11, 3000):
+            est.observe(v)
+        assert est.estimate() > 9.0
+
+    def test_constant_stream(self):
+        est = OnlineQuantile(q=0.8)
+        for _ in range(100):
+            est.observe(5.0)
+        assert est.estimate() == pytest.approx(5.0)
+
+    @given(
+        st.lists(
+            st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_estimate_within_observed_range(self, values):
+        est = OnlineQuantile(q=0.8)
+        for v in values:
+            est.observe(v)
+        assert min(values) - 1e-9 <= est.estimate() <= max(values) + 1e-9

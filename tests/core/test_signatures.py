@@ -1,0 +1,119 @@
+"""Tests for online signature identification (Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.signatures import (
+    RecentPastPredictor,
+    SignatureBank,
+    prediction_error_curve,
+)
+
+
+def make_bank(method="variation", penalty=1.0):
+    bank = SignatureBank(penalty=penalty, method=method)
+    bank.add([1.0, 1.0, 1.0, 1.0], cpu_time_us=100.0, label="flat")
+    bank.add([1.0, 5.0, 1.0, 5.0], cpu_time_us=900.0, label="spiky")
+    return bank
+
+
+class TestSignatureBank:
+    def test_identify_full_pattern(self):
+        bank = make_bank()
+        assert bank.identify([1.0, 5.0, 1.0, 5.0]).label == "spiky"
+        assert bank.identify([1.1, 0.9, 1.0, 1.0]).label == "flat"
+
+    def test_identify_partial_prefix(self):
+        """Identification uses only the observed prefix."""
+        bank = make_bank()
+        assert bank.identify([1.0, 4.8]).label == "spiky"
+
+    def test_predict_cpu_above(self):
+        bank = make_bank()
+        assert bank.predict_cpu_above([1.0, 5.0], threshold_us=500.0)
+        assert not bank.predict_cpu_above([1.0, 1.0], threshold_us=500.0)
+
+    def test_average_method_ignores_pattern(self):
+        bank = make_bank(method="average")
+        # Average of [3, 3] equals the spiky signature's prefix mean (3.0),
+        # not the flat one's (1.0).
+        assert bank.identify([3.0, 3.0]).label == "spiky"
+
+    def test_variation_method_separates_equal_averages(self):
+        bank = SignatureBank(penalty=1.0, method="variation")
+        bank.add([0.0, 6.0], cpu_time_us=1.0, label="spiky")
+        bank.add([3.0, 3.0], cpu_time_us=2.0, label="flat")
+        # Equal averages; only the variation pattern distinguishes them.
+        assert bank.identify([0.1, 5.9]).label == "spiky"
+
+    def test_empty_bank_raises(self):
+        bank = SignatureBank(penalty=1.0)
+        with pytest.raises(ValueError):
+            bank.identify([1.0])
+
+    def test_empty_pattern_raises(self):
+        with pytest.raises(ValueError):
+            make_bank().identify([])
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            SignatureBank(penalty=1.0, method="magic")
+
+    def test_invalid_penalty(self):
+        with pytest.raises(ValueError):
+            SignatureBank(penalty=-1.0)
+
+    def test_empty_signature_rejected(self):
+        with pytest.raises(ValueError):
+            make_bank().add([], cpu_time_us=1.0)
+
+    def test_len(self):
+        assert len(make_bank()) == 2
+
+
+class TestRecentPastPredictor:
+    def test_none_before_observations(self):
+        assert RecentPastPredictor().predict_cpu_above(10.0) is None
+
+    def test_window_slides(self):
+        p = RecentPastPredictor(window=2)
+        p.observe_completion(100.0)
+        p.observe_completion(100.0)
+        p.observe_completion(1.0)
+        # Window holds [100, 1] -> mean 50.5
+        assert p.predict_cpu_above(40.0) is True
+        assert p.predict_cpu_above(60.0) is False
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            RecentPastPredictor(window=0)
+
+
+class TestPredictionErrorCurve:
+    def test_perfect_identification_zero_error(self):
+        bank = make_bank()
+        patterns = [np.array([1.0, 1.0, 1.0, 1.0]), np.array([1.0, 5.0, 1.0, 5.0])]
+        cpu = [100.0, 900.0]
+        errors = prediction_error_curve(bank, patterns, cpu, 500.0, [2, 4])
+        assert np.all(errors == 0.0)
+
+    def test_error_declines_with_progress(self):
+        bank = SignatureBank(penalty=1.0)
+        bank.add([1.0, 1.0, 9.0, 9.0], cpu_time_us=900.0)
+        bank.add([1.0, 1.0, 1.0, 1.0], cpu_time_us=100.0)
+        # Test patterns identical preludes, divergent tails.
+        patterns = [np.array([1.0, 1.0, 9.0, 9.0]), np.array([1.0, 1.0, 1.0, 1.0])]
+        cpu = [900.0, 100.0]
+        errors = prediction_error_curve(bank, patterns, cpu, 500.0, [1, 4])
+        assert errors[1] <= errors[0]
+        assert errors[1] == 0.0
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            prediction_error_curve(make_bank(), [np.array([1.0])], [], 1.0, [1])
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            prediction_error_curve(
+                make_bank(), [np.array([1.0])], [1.0], 1.0, [0]
+            )

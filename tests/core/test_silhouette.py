@@ -1,0 +1,56 @@
+"""Tests for silhouette scoring and cluster-count selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import choose_k, k_medoids, silhouette_score
+
+
+def blobs(rng, centers, per=8, spread=0.15):
+    points = np.concatenate(
+        [c + spread * rng.standard_normal(per) for c in centers]
+    )
+    return points, np.abs(points[:, None] - points[None, :])
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_score_high(self, rng):
+        _, matrix = blobs(rng, [0.0, 10.0, 20.0])
+        result = k_medoids(matrix, k=3, rng=rng)
+        assert silhouette_score(matrix, result) > 0.8
+
+    def test_wrong_k_scores_lower(self, rng):
+        _, matrix = blobs(rng, [0.0, 10.0, 20.0])
+        right = k_medoids(matrix, k=3, rng=np.random.default_rng(1))
+        wrong = k_medoids(matrix, k=6, rng=np.random.default_rng(1))
+        assert silhouette_score(matrix, right) > silhouette_score(matrix, wrong)
+
+    def test_single_cluster_rejected(self, rng):
+        _, matrix = blobs(rng, [0.0])
+        result = k_medoids(matrix, k=1, rng=rng)
+        with pytest.raises(ValueError):
+            silhouette_score(matrix, result)
+
+    def test_bounded(self, rng):
+        points = rng.random(20)
+        matrix = np.abs(points[:, None] - points[None, :])
+        result = k_medoids(matrix, k=4, rng=rng)
+        score = silhouette_score(matrix, result)
+        assert -1.0 <= score <= 1.0
+
+
+class TestChooseK:
+    def test_recovers_true_cluster_count(self, rng):
+        _, matrix = blobs(rng, [0.0, 10.0, 20.0, 30.0])
+        result = choose_k(matrix, k_range=range(2, 9), rng=rng)
+        assert len(np.unique(result.labels)) == 4
+
+    def test_two_blobs(self, rng):
+        _, matrix = blobs(rng, [0.0, 50.0], per=6)
+        result = choose_k(matrix, k_range=range(2, 6), rng=rng)
+        assert len(np.unique(result.labels)) == 2
+
+    def test_empty_range_rejected(self, rng):
+        _, matrix = blobs(rng, [0.0, 1.0], per=2)
+        with pytest.raises(ValueError):
+            choose_k(matrix, k_range=range(50, 51), rng=rng)

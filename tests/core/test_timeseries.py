@@ -1,0 +1,113 @@
+"""Tests for period-weighted metric series."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.timeseries import MetricSeries
+
+
+def series(values, lengths=None):
+    values = np.asarray(values, dtype=float)
+    if lengths is None:
+        lengths = np.ones_like(values)
+    return MetricSeries(values=values, lengths=np.asarray(lengths, dtype=float))
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = series([1.0, 2.0], [1.0, 3.0])
+        assert len(s) == 2
+        assert s.total_length == 4.0
+
+    def test_mean_weighted(self):
+        s = series([1.0, 3.0], [3.0, 1.0])
+        assert s.mean() == pytest.approx(1.5)
+
+    def test_cov_delegates_to_equation_one(self):
+        s = series([1.0, 3.0])
+        assert s.coefficient_of_variation() == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            series([])
+
+    def test_nonpositive_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            series([1.0], [0.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSeries(values=np.array([1.0]), lengths=np.array([1.0, 2.0]))
+
+
+class TestPrefix:
+    def test_exact_cut(self):
+        s = series([1.0, 2.0, 3.0], [10.0, 10.0, 10.0])
+        p = s.prefix(20.0)
+        assert len(p) == 2
+        assert p.total_length == pytest.approx(20.0)
+
+    def test_straddling_period_truncated(self):
+        s = series([1.0, 2.0], [10.0, 10.0])
+        p = s.prefix(15.0)
+        assert len(p) == 2
+        assert p.lengths[1] == pytest.approx(5.0)
+
+    def test_longer_than_series_returns_all(self):
+        s = series([1.0, 2.0], [10.0, 10.0])
+        assert s.prefix(100.0) is s
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            series([1.0]).prefix(0.0)
+
+
+class TestResample:
+    def test_uniform_series_unchanged(self):
+        s = series([2.0] * 10, [5.0] * 10)
+        resampled = s.resample(10.0)
+        assert np.allclose(resampled, 2.0)
+
+    def test_mass_conserved_on_aligned_windows(self):
+        s = series([1.0, 3.0], [10.0, 10.0])
+        resampled = s.resample(5.0)
+        assert resampled.sum() * 5.0 == pytest.approx(1.0 * 10 + 3.0 * 10)
+
+    def test_window_averages_overlapping_periods(self):
+        s = series([0.0, 10.0], [5.0, 5.0])
+        resampled = s.resample(10.0)
+        assert resampled[0] == pytest.approx(5.0)
+
+    def test_short_trailing_window_dropped(self):
+        s = series([1.0, 100.0], [10.0, 1.0])
+        resampled = s.resample(10.0)
+        assert len(resampled) == 1  # 1-length tail < 25% of window
+
+    def test_substantial_trailing_window_kept(self):
+        s = series([1.0, 100.0], [10.0, 5.0])
+        resampled = s.resample(10.0)
+        assert len(resampled) == 2
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            series([1.0]).resample(0.0)
+
+    @given(
+        st.lists(st.floats(0.1, 10.0, allow_nan=False), min_size=1, max_size=10),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resampled_values_within_range(self, values, data):
+        lengths = data.draw(
+            st.lists(
+                st.floats(0.5, 20.0, allow_nan=False),
+                min_size=len(values),
+                max_size=len(values),
+            )
+        )
+        s = series(values, lengths)
+        resampled = s.resample(data.draw(st.floats(0.5, 30.0)))
+        assert np.all(resampled >= min(values) - 1e-9)
+        assert np.all(resampled <= max(values) + 1e-9)

@@ -1,0 +1,79 @@
+"""Tests for behavior-transition-signal training (Section 3.2, Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.transitions import TransitionSignalTrainer
+
+
+class TestOnlineStats:
+    def test_mean_and_std_match_numpy(self, rng):
+        trainer = TransitionSignalTrainer()
+        changes = rng.standard_normal(200) * 2.0 + 0.5
+        for change in changes:
+            trainer.observe("writev", 0.0, change)
+        signal = trainer.signals(min_occurrences=1)[0]
+        assert signal.mean_change == pytest.approx(changes.mean())
+        assert signal.std_change == pytest.approx(changes.std(ddof=1), rel=1e-6)
+        assert signal.occurrences == 200
+
+    def test_direction(self):
+        trainer = TransitionSignalTrainer()
+        trainer.observe("up", 1.0, 3.0)
+        trainer.observe("down", 3.0, 1.0)
+        signals = {s.name: s for s in trainer.signals(min_occurrences=1)}
+        assert signals["up"].direction == "increase"
+        assert signals["down"].direction == "decrease"
+
+    def test_min_occurrences_filter(self):
+        trainer = TransitionSignalTrainer()
+        for _ in range(4):
+            trainer.observe("rare", 0.0, 1.0)
+        assert trainer.signals(min_occurrences=5) == []
+        assert len(trainer.signals(min_occurrences=4)) == 1
+
+    def test_sorted_by_significance(self):
+        trainer = TransitionSignalTrainer()
+        for _ in range(5):
+            trainer.observe("weak", 0.0, 0.1)
+            trainer.observe("strong", 0.0, -5.0)
+        names = [s.name for s in trainer.signals()]
+        assert names == ["strong", "weak"]
+
+    def test_select_triggers_top_k(self):
+        trainer = TransitionSignalTrainer()
+        for name, change in [("a", 5.0), ("b", 3.0), ("c", 1.0)]:
+            for _ in range(5):
+                trainer.observe(name, 0.0, change)
+        assert trainer.select_triggers(top=2) == ("a", "b")
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            TransitionSignalTrainer(window_us=0.0)
+
+
+class TestTrainOnTrace:
+    def test_recovers_phase_transition_from_web_trace(self, web_run):
+        """The writev entry must show a CPI increase on real traces."""
+        trainer = TransitionSignalTrainer(window_us=10.0)
+        used = 0
+        for trace in web_run.traces:
+            used += trainer.train_on_trace(trace)
+        assert used > 0
+        signals = {s.name: s for s in trainer.signals(min_occurrences=5)}
+        assert "writev" in signals
+        assert signals["writev"].direction == "increase"
+        assert signals["writev"].mean_change > 1.0
+
+    def test_min_gap_filters_dense_occurrences(self, web_run):
+        trace = web_run.traces[0]
+        dense = TransitionSignalTrainer()
+        sparse = TransitionSignalTrainer()
+        n_dense = dense.train_on_trace(trace)
+        n_sparse = sparse.train_on_trace(trace, min_occurrence_gap_us=50.0)
+        assert n_sparse <= n_dense
+
+    def test_unsupported_metric_rejected(self, web_run):
+        trainer = TransitionSignalTrainer(metric="branch_mispredicts")
+        with pytest.raises(ValueError):
+            trainer.train_on_trace(web_run.traces[0])

@@ -1,0 +1,116 @@
+"""Tests for experiment plumbing (common helpers and specific internals)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    DEFAULT_REQUESTS,
+    SAMPLING_PERIOD_US,
+    all_apps,
+    scaled,
+    simulate,
+    standard_run,
+)
+from repro.kernel.sampling import SamplingMode
+
+
+class TestScaled:
+    def test_identity_at_one(self):
+        assert scaled(100, 1.0) == 100
+
+    def test_rounds_up(self):
+        assert scaled(10, 0.35) == 4
+
+    def test_minimum_enforced(self):
+        assert scaled(10, 0.01) == 4
+        assert scaled(10, 0.01, minimum=7) == 7
+
+    def test_scale_above_one(self):
+        assert scaled(100, 2.0) == 200
+
+
+class TestSimulate:
+    def test_default_sampling_follows_paper_frequency(self):
+        run = simulate("webserver", num_requests=4, seed=1)
+        assert run.config.sampling.mode is SamplingMode.INTERRUPT
+        assert run.config.sampling.interrupt_period_us == 10.0
+
+    def test_serial_configuration(self):
+        run = simulate("tpcc", num_requests=3, seed=1, cores=1)
+        assert run.config.machine.num_cores == 1
+        assert run.config.concurrency == 1
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ValueError):
+            simulate("tpcc", num_requests=3, seed=1, cores=2)
+
+    def test_config_overrides_forwarded(self):
+        run = simulate("tpcc", num_requests=3, seed=1, compensate=False)
+        trace = run.traces[0]
+        assert np.allclose(trace.instructions, trace.raw_instructions)
+
+    def test_all_apps_have_defaults(self):
+        for app in all_apps():
+            assert app in DEFAULT_REQUESTS
+            assert app in SAMPLING_PERIOD_US
+
+    def test_standard_run_scales(self):
+        run = standard_run("webwork", scale=0.1, seed=1)
+        assert len(run.traces) == scaled(DEFAULT_REQUESTS["webwork"], 0.1)
+
+
+class TestFig5Tuning:
+    def test_matched_run_converges(self):
+        from repro.experiments.fig5_sampling_overhead import matched_syscall_run
+
+        target = 800
+        run, t_min = matched_syscall_run(
+            "webserver", num_requests=30, seed=2, period_us=10.0,
+            target_samples=target,
+        )
+        produced = (
+            run.sampler_stats.in_kernel_samples
+            + run.sampler_stats.interrupt_samples
+        )
+        assert produced == pytest.approx(target, rel=0.25)
+        assert t_min > 0
+
+
+class TestFig6Construction:
+    def test_drift_pair_structure(self):
+        from repro.experiments.fig6_drift_example import build_drift_pair
+
+        base, drifted, control = build_drift_pair(seed=3)
+        assert drifted.total_instructions > base.total_instructions
+        names = [p.name for p in drifted.phases()]
+        assert "lock_wait_stall" in names
+        # The stall lands near 0.8M instructions.
+        consumed = 0
+        for p in drifted.phases():
+            if p.name == "lock_wait_stall":
+                break
+            consumed += p.instructions
+        assert 700_000 < consumed < 1_300_000
+        assert control.kind != base.kind
+
+
+class TestSchedRuns:
+    def test_threshold_is_a_sane_mpi(self):
+        from repro.experiments.sched_runs import high_usage_threshold
+
+        threshold = high_usage_threshold("tpch", scale=0.1, seed=5)
+        assert 0.001 < threshold < 0.05
+
+    def test_runs_cached(self):
+        from repro.experiments.sched_runs import scheduling_runs
+
+        a = scheduling_runs("webwork", 0.1, 6)
+        b = scheduling_runs("webwork", 0.1, 6)
+        assert a is b  # lru_cache
+
+    def test_run_counts(self):
+        from repro.experiments.sched_runs import N_RUNS, scheduling_runs
+
+        runs = scheduling_runs("webwork", 0.1, 7)
+        assert len(runs["original"]) == N_RUNS
+        assert len(runs["contention_easing"]) == N_RUNS

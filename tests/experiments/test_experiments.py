@@ -1,0 +1,168 @@
+"""Smoke and claim tests for the table/figure reproductions.
+
+Each experiment runs at a small scale (statistical claims are validated at
+full scale by the benchmark harness; here we verify structure plus the
+cheap qualitative claims).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.base import EXPERIMENTS, ExperimentResult, get_experiment
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once at smoke scale."""
+    out = {}
+    for exp_id in EXPERIMENTS:
+        out[exp_id] = get_experiment(exp_id).run(scale=SCALE)
+    return out
+
+
+class TestStructure:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig1", "fig2", "table1", "fig3", "fig4", "fig5", "table2",
+            "sec32", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ValueError):
+            get_experiment("fig99")
+
+    def test_every_result_renders(self, results):
+        for exp_id, result in results.items():
+            assert isinstance(result, ExperimentResult)
+            text = result.render()
+            assert exp_id in text
+            assert result.rows or result.panels, exp_id
+            assert result.notes, exp_id
+
+
+class TestTable1Claims:
+    def test_recovers_injected_costs(self, results):
+        rows = {(r["context"], r["workload"]): r for r in results["table1"].rows}
+        spin_ik = rows[("in_kernel", "mbench_spin")]
+        assert spin_ik["cycles"] == pytest.approx(1270, rel=0.02)
+        assert spin_ik["instructions"] == pytest.approx(649, rel=0.02)
+        spin_int = rows[("interrupt", "mbench_spin")]
+        assert spin_int["cycles"] == pytest.approx(2276, rel=0.02)
+        data_ik = rows[("in_kernel", "mbench_data")]
+        assert data_ik["l2_refs"] == pytest.approx(13, rel=0.05)
+
+    def test_interrupt_costlier_than_in_kernel(self, results):
+        rows = {(r["context"], r["workload"]): r for r in results["table1"].rows}
+        assert (
+            rows[("interrupt", "mbench_spin")]["cycles"]
+            > rows[("in_kernel", "mbench_spin")]["cycles"] + 900
+        )
+
+
+class TestFig1Claims:
+    def test_tpch_obfuscated_webwork_not(self, results):
+        rows = {r["app"]: r for r in results["fig1"].rows}
+        assert rows["tpch"]["p90_ratio"] > 1.5
+        assert rows["webwork"]["p90_ratio"] < 1.15
+
+    def test_multicore_spreads_distributions(self, results):
+        rows = {r["app"]: r for r in results["fig1"].rows}
+        spread_ratios = [
+            rows[a]["std_4core"] / max(rows[a]["std_1core"], 1e-9)
+            for a in ("tpcc", "tpch", "rubis")
+        ]
+        assert np.median(spread_ratios) > 1.2
+
+
+class TestFig3Claims:
+    def test_intra_dominates_except_tpch(self, results):
+        rows = {r["app"]: r for r in results["fig3"].rows}
+        for app in ("webserver", "tpcc", "rubis", "webwork"):
+            assert rows[app]["cpi:with_intra"] > 1.5 * rows[app]["cpi:inter"], app
+        # At smoke scale the inter-request CoV of a dozen TPCH requests is
+        # too noisy for a stable gain *ratio*; assert the robust form of
+        # the claim — TPCH has the least intra-request fluctuation — and
+        # leave the strict gain ordering to the full-scale benchmark.
+        intra_values = {a: rows[a]["cpi:with_intra"] for a in rows}
+        assert min(intra_values, key=intra_values.get) == "tpch"
+
+
+class TestFig5Claims:
+    def test_syscall_sampling_saves_overhead(self, results):
+        for row in results["fig5"].rows:
+            assert row["normalized_overhead"] < 1.0, row["app"]
+        # The theoretical floor is the in-kernel/interrupt cost ratio
+        # (up to the sample-count matching tolerance).
+        for row in results["fig5"].rows:
+            assert row["normalized_overhead"] > 1270 / 2276 - 0.08
+
+
+class TestTable2Claims:
+    def test_writev_is_strongest_increase(self, results):
+        rows = results["table2"].rows
+        assert rows[0]["syscall"] == "writev"
+        assert rows[0]["direction"] == "increase"
+
+    def test_majority_directions_agree(self, results):
+        rows = [r for r in results["table2"].rows if r["agrees"]]
+        agreeing = [r for r in rows if r["agrees"] == "yes"]
+        assert len(agreeing) >= len(rows) * 0.6
+
+
+class TestFig6Claims:
+    def test_dtw_absorbs_drift_l1_does_not(self, results):
+        rows = {r["pair"]: r for r in results["fig6"].rows}
+        drift = rows["base vs drifted"]
+        assert drift["dtw"] < drift["l1"]
+        control = rows["base vs control(payment)"]
+        assert control["dtw+penalty"] > 3 * drift["dtw+penalty"]
+
+
+class TestFig11Claims:
+    def test_vaewma_competitive(self, results):
+        rows = results["fig11"].rows
+        by_app = {}
+        for row in rows:
+            by_app.setdefault(row["app"], {})[row["predictor"]] = row["rmse"]
+        for app, errors in by_app.items():
+            best_va = min(
+                v for k, v in errors.items() if k.startswith("vaEWMA")
+            )
+            assert best_va <= errors["request_average"] * 1.02, app
+            assert best_va <= errors["last_value"] * 1.02, app
+
+
+class TestFig12Claims:
+    def test_contention_easing_reduces_quad_high(self, results):
+        rows = [
+            r for r in results["fig12"].rows if r["cores_high"] == "4 cores"
+        ]
+        # At smoke scale the reduction is noisy; require improvement on
+        # average across the two applications.
+        mean_reduction = np.mean([r["reduction_pct"] for r in rows])
+        assert mean_reduction > 0
+
+
+class TestRunner:
+    def test_cli_list(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table2" in out
+
+    def test_cli_unknown_id(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["nope"]) == 2
+
+    def test_cli_runs_experiment(self, capsys, tmp_path):
+        from repro.experiments.runner import main
+
+        out_file = tmp_path / "out.md"
+        assert main(["fig6", "--scale", "0.1", "--out", str(out_file)]) == 0
+        assert "fig6" in out_file.read_text()

@@ -1,0 +1,92 @@
+"""Tests for counters and the sampling observer-effect model."""
+
+import pytest
+
+from repro.hardware.counters import (
+    CounterSnapshot,
+    SamplingContext,
+    SamplingCostModel,
+)
+
+
+class TestCounterSnapshot:
+    def test_add(self):
+        a = CounterSnapshot(1, 2, 3, 4)
+        b = CounterSnapshot(10, 20, 30, 40)
+        s = a + b
+        assert (s.cycles, s.instructions, s.l2_refs, s.l2_misses) == (11, 22, 33, 44)
+
+    def test_sub(self):
+        a = CounterSnapshot(10, 20, 30, 40)
+        b = CounterSnapshot(1, 2, 3, 4)
+        d = a - b
+        assert (d.cycles, d.instructions, d.l2_refs, d.l2_misses) == (9, 18, 27, 36)
+
+    def test_cpi(self):
+        assert CounterSnapshot(cycles=10, instructions=4).cpi() == pytest.approx(2.5)
+
+    def test_cpi_without_instructions_raises(self):
+        with pytest.raises(ValueError):
+            CounterSnapshot(cycles=10).cpi()
+
+    def test_default_is_zero(self):
+        z = CounterSnapshot()
+        assert z.cycles == 0 and z.instructions == 0
+
+
+class TestSamplingCostModel:
+    def setup_method(self):
+        self.model = SamplingCostModel()
+
+    def test_table1_spin_values(self):
+        """Zero-pollution costs reproduce the paper's Mbench-Spin row."""
+        ik = self.model.cost(SamplingContext.IN_KERNEL, 0.0)
+        assert ik.cycles == pytest.approx(1270)
+        assert ik.instructions == pytest.approx(649)
+        assert ik.l2_refs == 0
+        it = self.model.cost(SamplingContext.INTERRUPT, 0.0)
+        assert it.cycles == pytest.approx(2276)
+        assert it.instructions == pytest.approx(724)
+
+    def test_table1_data_values(self):
+        """Full-pollution costs reproduce the Mbench-Data row."""
+        ik = self.model.cost(SamplingContext.IN_KERNEL, 1.0)
+        assert ik.cycles == pytest.approx(1374)
+        assert ik.l2_refs == pytest.approx(13)
+        it = self.model.cost(SamplingContext.INTERRUPT, 1.0)
+        assert it.cycles == pytest.approx(2388)
+        assert it.instructions == pytest.approx(734)
+        assert it.l2_refs == pytest.approx(12)
+
+    def test_time_costs_at_3ghz(self):
+        """The paper's 0.42us / 0.76us per-sample times at 3 GHz."""
+        assert self.model.time_cost_us(
+            SamplingContext.IN_KERNEL, 3.0
+        ) == pytest.approx(0.423, abs=0.01)
+        assert self.model.time_cost_us(
+            SamplingContext.INTERRUPT, 3.0
+        ) == pytest.approx(0.759, abs=0.01)
+
+    def test_pollution_clamped(self):
+        over = self.model.cost(SamplingContext.IN_KERNEL, 5.0)
+        full = self.model.cost(SamplingContext.IN_KERNEL, 1.0)
+        assert over.cycles == full.cycles
+        under = self.model.cost(SamplingContext.IN_KERNEL, -1.0)
+        zero = self.model.cost(SamplingContext.IN_KERNEL, 0.0)
+        assert under.cycles == zero.cycles
+
+    def test_minimum_cost_is_never_above_actual(self):
+        """'Do no harm': minimum cost never exceeds any actual cost."""
+        for context in SamplingContext:
+            minimum = self.model.minimum_cost(context)
+            for pollution in (0.0, 0.3, 0.7, 1.0):
+                actual = self.model.cost(context, pollution)
+                assert minimum.cycles <= actual.cycles
+                assert minimum.instructions <= actual.instructions
+                assert minimum.l2_refs <= actual.l2_refs
+
+    def test_interrupt_costs_exceed_in_kernel(self):
+        """The extra user/kernel domain switch costs >1000 cycles."""
+        ik = self.model.cost(SamplingContext.IN_KERNEL, 0.0)
+        it = self.model.cost(SamplingContext.INTERRUPT, 0.0)
+        assert it.cycles - ik.cycles > 1000

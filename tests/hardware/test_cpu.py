@@ -1,0 +1,146 @@
+"""Tests for core execution state and effective-rate computation."""
+
+import pytest
+
+from repro.hardware.cache import SharedL2Model
+from repro.hardware.counters import CounterSnapshot
+from repro.hardware.cpu import (
+    CoreState,
+    EffectiveRates,
+    PhaseBehavior,
+    compute_effective_rates,
+)
+from repro.hardware.memory import MemoryBusModel
+from repro.hardware.platform import WOODCREST, serial_machine
+
+SCAN = PhaseBehavior(
+    base_cpi=0.95, l2_refs_per_ins=0.024, l2_miss_ratio=0.35, cache_footprint=1.0
+)
+COMPUTE = PhaseBehavior(
+    base_cpi=1.3, l2_refs_per_ins=0.002, l2_miss_ratio=0.15, cache_footprint=0.05
+)
+
+
+def rates_for(behaviors, machine=WOODCREST):
+    return compute_effective_rates(
+        machine, SharedL2Model(), MemoryBusModel(), behaviors
+    )
+
+
+class TestPhaseBehavior:
+    def test_solo_cpi(self):
+        b = PhaseBehavior(1.0, 0.01, 0.5, 0.5)
+        assert b.solo_cpi(200.0) == pytest.approx(1.0 + 200 * 0.01 * 0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base_cpi=0.0, l2_refs_per_ins=0.0, l2_miss_ratio=0.0, cache_footprint=0.0),
+            dict(base_cpi=1.0, l2_refs_per_ins=-0.1, l2_miss_ratio=0.0, cache_footprint=0.0),
+            dict(base_cpi=1.0, l2_refs_per_ins=0.0, l2_miss_ratio=1.5, cache_footprint=0.0),
+            dict(base_cpi=1.0, l2_refs_per_ins=0.0, l2_miss_ratio=0.0, cache_footprint=2.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PhaseBehavior(**kwargs)
+
+
+class TestEffectiveRates:
+    def test_counters_for_instructions(self):
+        r = EffectiveRates(cpi=2.0, l2_refs_per_ins=0.01, l2_miss_ratio=0.5)
+        c = r.counters_for_instructions(1000)
+        assert c.cycles == pytest.approx(2000)
+        assert c.instructions == pytest.approx(1000)
+        assert c.l2_refs == pytest.approx(10)
+        assert c.l2_misses == pytest.approx(5)
+
+    def test_instructions_for_cycles_inverse(self):
+        r = EffectiveRates(cpi=2.5, l2_refs_per_ins=0.0, l2_miss_ratio=0.0)
+        assert r.instructions_for_cycles(250) == pytest.approx(100)
+
+
+class TestComputeEffectiveRates:
+    def test_solo_matches_solo_cpi(self):
+        rates = rates_for({0: SCAN}, machine=serial_machine())
+        assert rates[0].cpi == pytest.approx(
+            SCAN.solo_cpi(WOODCREST.l2_miss_penalty_cycles)
+        )
+        assert rates[0].l2_miss_ratio == pytest.approx(SCAN.l2_miss_ratio)
+
+    def test_l2_peer_inflates(self):
+        solo = rates_for({0: SCAN})
+        pair = rates_for({0: SCAN, 1: SCAN})
+        assert pair[0].cpi > solo[0].cpi
+        assert pair[0].l2_miss_ratio > solo[0].l2_miss_ratio
+
+    def test_cross_die_couples_only_through_bus(self):
+        """A core on the other die adds bus pressure but no L2 inflation."""
+        solo = rates_for({0: SCAN})
+        cross = rates_for({0: SCAN, 2: SCAN})
+        assert cross[0].l2_miss_ratio == pytest.approx(solo[0].l2_miss_ratio)
+        assert cross[0].cpi > solo[0].cpi  # bus contention only
+
+    def test_same_die_hurts_more_than_cross_die(self):
+        same = rates_for({0: SCAN, 1: SCAN})
+        cross = rates_for({0: SCAN, 2: SCAN})
+        assert same[0].cpi > cross[0].cpi
+
+    def test_compute_phase_barely_affected(self):
+        """The WeBWorK story: tiny footprint -> negligible obfuscation."""
+        solo = rates_for({0: COMPUTE}, machine=serial_machine())
+        crowded = rates_for({0: COMPUTE, 1: SCAN, 2: SCAN, 3: SCAN})
+        assert crowded[0].cpi < solo[0].cpi * 1.15
+
+    def test_scan_heavily_affected_when_crowded(self):
+        solo = rates_for({0: SCAN}, machine=serial_machine())
+        crowded = rates_for({0: SCAN, 1: SCAN, 2: SCAN, 3: SCAN})
+        assert crowded[0].cpi > solo[0].cpi * 1.3
+
+    def test_idle_cores_absent_from_result(self):
+        rates = rates_for({2: SCAN})
+        assert set(rates) == {2}
+
+    def test_symmetry(self):
+        rates = rates_for({0: SCAN, 1: SCAN, 2: SCAN, 3: SCAN})
+        assert rates[0].cpi == pytest.approx(rates[3].cpi)
+
+
+class TestCoreState:
+    def test_advance_accumulates(self):
+        core = CoreState(core_id=0)
+        core.set_rates(EffectiveRates(cpi=2.0, l2_refs_per_ins=0.01, l2_miss_ratio=0.5))
+        delta = core.advance(1000.0)
+        assert delta.cycles == pytest.approx(1000.0)
+        assert delta.instructions == pytest.approx(500.0)
+        assert core.busy_cycles == pytest.approx(1000.0)
+
+    def test_idle_advance_is_empty(self):
+        core = CoreState(core_id=0)
+        delta = core.advance(500.0)
+        assert delta.instructions == 0.0
+        assert core.last_advance_cycle == 500.0
+
+    def test_advance_into_stall_window_is_noop(self):
+        core = CoreState(core_id=0)
+        core.set_rates(EffectiveRates(cpi=1.0, l2_refs_per_ins=0.0, l2_miss_ratio=0.0))
+        core.inject(CounterSnapshot(cycles=1000.0))
+        delta = core.advance(500.0)  # before the stall window ends
+        assert delta.instructions == 0.0
+        assert core.last_advance_cycle == pytest.approx(1000.0)
+
+    def test_inject_counts_and_stalls(self):
+        core = CoreState(core_id=0)
+        core.set_rates(EffectiveRates(cpi=1.0, l2_refs_per_ins=0.0, l2_miss_ratio=0.0))
+        core.inject(CounterSnapshot(cycles=100.0, instructions=50.0))
+        assert core.total.instructions == pytest.approx(50.0)
+        assert core.last_advance_cycle == pytest.approx(100.0)
+        # After the stall, execution resumes normally.
+        delta = core.advance(300.0)
+        assert delta.instructions == pytest.approx(200.0)
+
+    def test_is_busy(self):
+        core = CoreState(core_id=0)
+        assert not core.is_busy
+        core.set_rates(EffectiveRates(cpi=1.0, l2_refs_per_ins=0.0, l2_miss_ratio=0.0))
+        assert core.is_busy

@@ -1,0 +1,61 @@
+"""Tests for the memory-bus bandwidth model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.memory import MemoryBusModel
+
+
+class TestMissTraffic:
+    def setup_method(self):
+        self.model = MemoryBusModel()
+
+    def test_zero_misses_zero_traffic(self):
+        assert self.model.miss_traffic(0.0, 0.5, 2.0) == 0.0
+
+    def test_traffic_scales_with_miss_rate(self):
+        low = self.model.miss_traffic(0.01, 0.2, 2.0)
+        high = self.model.miss_traffic(0.02, 0.2, 2.0)
+        assert high == pytest.approx(2 * low)
+
+    def test_clamped_at_max_occupancy(self):
+        t = self.model.miss_traffic(1.0, 1.0, 0.5)
+        assert t == self.model.max_occupancy
+
+    def test_invalid_cpi_raises(self):
+        with pytest.raises(ValueError):
+            self.model.miss_traffic(0.01, 0.2, 0.0)
+
+
+class TestEffectivePenalty:
+    def setup_method(self):
+        self.model = MemoryBusModel()
+
+    def test_no_contention_keeps_base(self):
+        assert self.model.effective_miss_penalty(220.0, 0.0) == pytest.approx(220.0)
+
+    def test_superlinear_in_occupancy(self):
+        """Quad-high coincidences cost more than twice duo-high ones."""
+        duo = self.model.effective_miss_penalty(220.0, 0.1) - 220.0
+        quad = self.model.effective_miss_penalty(220.0, 0.3) - 220.0
+        assert quad > 3 * duo
+
+    def test_negative_occupancy_treated_as_zero(self):
+        assert self.model.effective_miss_penalty(220.0, -5.0) == pytest.approx(220.0)
+
+    def test_finite_at_extreme_occupancy(self):
+        penalty = self.model.effective_miss_penalty(220.0, 1e9)
+        cap = (self.model.machine_cores - 1) * self.model.max_occupancy
+        expected = 220.0 * (
+            1 + self.model.contention_gamma * cap + self.model.contention_beta * cap**2
+        )
+        assert penalty == pytest.approx(expected)
+
+    @given(st.floats(0.0, 3.0), st.floats(0.0, 3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert self.model.effective_miss_penalty(220.0, hi) >= (
+            self.model.effective_miss_penalty(220.0, lo) - 1e-9
+        )

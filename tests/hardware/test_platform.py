@@ -1,0 +1,47 @@
+"""Tests for machine topology and clock configuration."""
+
+import pytest
+
+from repro.hardware.platform import WOODCREST, MachineConfig, serial_machine
+
+
+class TestMachineConfig:
+    def test_woodcrest_defaults(self):
+        assert WOODCREST.num_cores == 4
+        assert WOODCREST.frequency_ghz == 3.0
+        assert WOODCREST.l2_size_kb == 4096
+        assert WOODCREST.l2_hit_latency_cycles == 14
+
+    def test_cycle_conversions_roundtrip(self):
+        cycles = WOODCREST.us_to_cycles(10.0)
+        assert cycles == pytest.approx(30_000)
+        assert WOODCREST.cycles_to_us(cycles) == pytest.approx(10.0)
+
+    def test_ms_to_cycles(self):
+        assert WOODCREST.ms_to_cycles(1.0) == pytest.approx(3_000_000)
+
+    def test_l2_domains(self):
+        assert WOODCREST.l2_domain_of(0) == WOODCREST.l2_domain_of(1)
+        assert WOODCREST.l2_domain_of(2) == WOODCREST.l2_domain_of(3)
+        assert WOODCREST.l2_domain_of(0) != WOODCREST.l2_domain_of(2)
+
+    def test_l2_peers(self):
+        assert WOODCREST.l2_peers_of(0) == (1,)
+        assert WOODCREST.l2_peers_of(3) == (2,)
+
+    def test_serial_machine(self):
+        m = serial_machine()
+        assert m.num_cores == 1
+        assert m.l2_peers_of(0) == ()
+
+    def test_incomplete_domains_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_cores=4, l2_domains=((0, 1),))
+
+    def test_duplicate_core_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_cores=2, l2_domains=((0, 0),))
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            WOODCREST.num_cores = 8

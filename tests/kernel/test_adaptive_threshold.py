@@ -1,0 +1,78 @@
+"""Tests for the online-learned high-usage threshold (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.contention import ContentionEasingScheduler
+from repro.kernel.scheduler import RoundRobinScheduler
+
+from tests.conftest import run_small
+
+
+class TestAdaptiveThreshold:
+    def test_warmup_uses_static_threshold(self):
+        sched = ContentionEasingScheduler(
+            high_usage_threshold=0.123, adaptive_threshold=True, adaptive_warmup=50
+        )
+        assert sched.current_threshold() == 0.123
+
+    def test_threshold_converges_to_percentile(self):
+        sched = ContentionEasingScheduler(
+            high_usage_threshold=1.0, adaptive_threshold=True, adaptive_warmup=100
+        )
+        rng = np.random.default_rng(3)
+
+        class FakeTask:
+            predictor_state = {}
+
+        samples = rng.exponential(0.01, 3000)
+        for mpi in samples:
+            sched.on_sample(FakeTask(), 1e6, mpi * 1e6, 3e6)
+        assert sched.current_threshold() == pytest.approx(
+            np.percentile(samples, 80), rel=0.15
+        )
+
+    def test_static_mode_never_learns(self):
+        sched = ContentionEasingScheduler(high_usage_threshold=0.5)
+
+        class FakeTask:
+            predictor_state = {}
+
+        for _ in range(500):
+            sched.on_sample(FakeTask(), 1e6, 9e5, 3e6)
+        assert sched.current_threshold() == 0.5
+
+    def test_adaptive_run_matches_profiled_run_behavior(self):
+        """End to end: the online threshold should ease contention about
+        as well as the profiled one, without a profiling run."""
+        # Profile to find the 'true' threshold for reference accounting.
+        profile = run_small("tpch", num_requests=10, seed=3)
+        values = np.concatenate(
+            [t.period_values("l2_miss_per_ins")[0] for t in profile.traces]
+        )
+        threshold = float(np.percentile(values, 80))
+
+        base = run_small(
+            "tpch", num_requests=12, seed=4,
+            scheduler=RoundRobinScheduler(),
+            high_usage_mpi_threshold=threshold,
+        )
+        adaptive = run_small(
+            "tpch", num_requests=12, seed=4,
+            scheduler=ContentionEasingScheduler(
+                high_usage_threshold=threshold * 2,  # deliberately wrong warm-up
+                adaptive_threshold=True,
+                adaptive_warmup=100,
+            ),
+            high_usage_mpi_threshold=threshold,
+        )
+        sched = adaptive.scheduler
+        # The online estimate converged near the profiled threshold.
+        assert sched.current_threshold() == pytest.approx(threshold, rel=0.5)
+        assert sched.current_threshold() != threshold * 2
+        # And the scheduler actually engaged.
+        assert len(adaptive.traces) == 12
+        assert (
+            adaptive.high_usage_fractions()[">=3"]
+            <= base.high_usage_fractions()[">=3"] + 0.05
+        )

@@ -1,0 +1,156 @@
+"""Tests for the contention-easing scheduler policy (Section 5.2)."""
+
+import pytest
+
+from repro.hardware.cpu import PhaseBehavior
+from repro.kernel.contention import ContentionEasingScheduler
+from repro.kernel.task import Task
+from repro.workloads.base import Phase, RequestSpec, single_stage
+
+B = PhaseBehavior(1.0, 0.01, 0.2, 0.3)
+
+
+def make_task(task_id):
+    spec = RequestSpec(
+        request_id=task_id,
+        app="t",
+        kind="k",
+        stages=single_stage("t", [Phase(name="p", instructions=1000, behavior=B)]),
+    )
+    return Task(task_id=task_id, request=spec, stage_index=0, home_core=0)
+
+
+def make_sched(threshold=0.01):
+    return ContentionEasingScheduler(high_usage_threshold=threshold)
+
+
+def feed(sched, task, mpi, cycles=3_000_000.0):
+    """Feed one observation with the given misses-per-instruction."""
+    instructions = 1_000_000.0
+    sched.on_sample(task, instructions, mpi * instructions, cycles)
+
+
+class TestPrediction:
+    def test_unobserved_task_assumed_low(self):
+        sched = make_sched()
+        assert not sched.predicted_high(make_task(1))
+
+    def test_high_after_high_samples(self):
+        sched = make_sched(threshold=0.01)
+        task = make_task(1)
+        feed(sched, task, mpi=0.05)
+        assert sched.predicted_high(task)
+
+    def test_low_after_low_samples(self):
+        sched = make_sched(threshold=0.01)
+        task = make_task(1)
+        feed(sched, task, mpi=0.001)
+        assert not sched.predicted_high(task)
+
+    def test_prediction_adapts(self):
+        sched = make_sched(threshold=0.01)
+        task = make_task(1)
+        feed(sched, task, mpi=0.05)
+        for _ in range(8):
+            feed(sched, task, mpi=0.001)
+        assert not sched.predicted_high(task)
+
+    def test_zero_sample_ignored(self):
+        sched = make_sched()
+        task = make_task(1)
+        sched.on_sample(task, 0.0, 0.0, 0.0)
+        assert not sched.predicted_high(task)
+
+
+class TestPickPolicy:
+    def setup_method(self):
+        self.sched = make_sched(threshold=0.01)
+        self.high = make_task(10)
+        feed(self.sched, self.high, mpi=0.05)
+        self.low = make_task(11)
+        feed(self.sched, self.low, mpi=0.001)
+        self.other_high = make_task(12)
+        feed(self.sched, self.other_high, mpi=0.05)
+
+    def test_normal_when_no_other_core_high(self):
+        idx = self.sched.pick(0, [self.high, self.low], {0: None, 1: self.low})
+        assert idx == 0  # paper step 1: schedule normally
+
+    def test_avoids_high_when_other_core_high(self):
+        idx = self.sched.pick(
+            0, [self.high, self.low], {0: None, 1: self.other_high}
+        )
+        assert idx == 1  # closest-to-head non-high request
+
+    def test_gives_up_when_all_high(self):
+        idx = self.sched.pick(0, [self.high], {0: None, 1: self.other_high})
+        assert idx == 0
+        assert self.sched.stats["gave_up"] == 1
+
+    def test_empty_queue(self):
+        assert self.sched.pick(0, [], {0: None, 1: self.other_high}) is None
+
+    def test_own_core_state_ignored(self):
+        """Only *other* cores' high usage matters (paper step 1)."""
+        idx = self.sched.pick(0, [self.high], {0: self.other_high, 1: self.low})
+        assert idx == 0
+
+
+class TestPreemptPolicy:
+    def setup_method(self):
+        self.sched = make_sched(threshold=0.01)
+        self.high = make_task(20)
+        feed(self.sched, self.high, mpi=0.05)
+        self.low = make_task(21)
+        feed(self.sched, self.low, mpi=0.001)
+        self.other_high = make_task(22)
+        feed(self.sched, self.other_high, mpi=0.05)
+
+    def test_keeps_current_when_others_low(self):
+        assert (
+            self.sched.should_preempt(0, self.high, [self.low], {1: self.low})
+            is None
+        )
+
+    def test_keeps_low_current(self):
+        assert (
+            self.sched.should_preempt(
+                0, self.low, [self.low], {1: self.other_high}
+            )
+            is None
+        )
+
+    def test_preempts_high_current_for_low_alternative(self):
+        idx = self.sched.should_preempt(
+            0, self.high, [self.low], {1: self.other_high}
+        )
+        assert idx == 0
+        assert self.sched.stats["preemptions"] == 1
+
+    def test_gives_up_without_low_alternative(self):
+        another_high = make_task(23)
+        feed(self.sched, another_high, mpi=0.06)
+        idx = self.sched.should_preempt(
+            0, self.high, [another_high], {1: self.other_high}
+        )
+        assert idx is None
+
+    def test_empty_queue_keeps_current(self):
+        assert (
+            self.sched.should_preempt(0, self.high, [], {1: self.other_high})
+            is None
+        )
+
+
+class TestConfiguration:
+    def test_paper_defaults(self):
+        sched = ContentionEasingScheduler()
+        assert sched.alpha == 0.6
+        assert sched.resched_interval_us == 5_000.0  # at most every 5 ms
+
+    def test_predictor_reused_per_task(self):
+        sched = make_sched()
+        task = make_task(1)
+        p1 = sched._predictor(task)
+        p2 = sched._predictor(task)
+        assert p1 is p2

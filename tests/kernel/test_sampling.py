@@ -1,0 +1,71 @@
+"""Tests for sampling policies and accounting."""
+
+import pytest
+
+from repro.hardware.counters import SamplingContext, SamplingCostModel
+from repro.kernel.sampling import SamplerStats, SamplingMode, SamplingPolicy
+
+
+class TestSamplingPolicy:
+    def test_interrupt_factory(self):
+        p = SamplingPolicy.interrupt(10.0)
+        assert p.mode is SamplingMode.INTERRUPT
+        assert p.interrupt_period_us == 10.0
+
+    def test_syscall_factory(self):
+        p = SamplingPolicy.syscall_triggered(50.0, 200.0)
+        assert p.mode is SamplingMode.SYSCALL_TRIGGERED
+        assert p.wants_syscall_events()
+
+    def test_transition_factory(self):
+        p = SamplingPolicy.transition_signal(10.0, 50.0, ["writev", "poll"])
+        assert p.accepts_trigger("writev")
+        assert not p.accepts_trigger("read")
+
+    def test_syscall_mode_accepts_any_name(self):
+        p = SamplingPolicy.syscall_triggered(10.0, 50.0)
+        assert p.accepts_trigger("anything")
+
+    def test_interrupt_mode_rejects_triggers(self):
+        p = SamplingPolicy.interrupt(10.0)
+        assert not p.accepts_trigger("writev")
+        assert not p.wants_syscall_events()
+
+    def test_backup_must_exceed_min(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy.syscall_triggered(100.0, 50.0)
+
+    def test_transition_requires_triggers(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(mode=SamplingMode.TRANSITION_SIGNAL)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy.interrupt(0.0)
+
+    def test_context_switch_only(self):
+        p = SamplingPolicy(mode=SamplingMode.CONTEXT_SWITCH_ONLY)
+        assert not p.wants_syscall_events()
+        assert not p.accepts_trigger("read")
+
+
+class TestSamplerStats:
+    def test_record_by_context(self):
+        stats = SamplerStats()
+        stats.record(SamplingContext.IN_KERNEL, mandatory=False)
+        stats.record(SamplingContext.INTERRUPT, mandatory=False)
+        stats.record(SamplingContext.IN_KERNEL, mandatory=True)
+        assert stats.in_kernel_samples == 1
+        assert stats.interrupt_samples == 1
+        assert stats.context_switch_samples == 1
+        assert stats.total_samples == 3
+
+    def test_overhead_uses_minimum_costs(self):
+        stats = SamplerStats(in_kernel_samples=10, interrupt_samples=5)
+        model = SamplingCostModel()
+        expected = 10 * 1270 + 5 * 2276
+        assert stats.overhead_cycles(model) == pytest.approx(expected)
+
+    def test_mandatory_samples_excluded_from_overhead(self):
+        stats = SamplerStats(context_switch_samples=100)
+        assert stats.overhead_cycles(SamplingCostModel()) == 0.0

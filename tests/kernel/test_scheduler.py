@@ -1,0 +1,32 @@
+"""Tests for the baseline scheduler policy."""
+
+from repro.kernel.scheduler import RoundRobinScheduler, SchedulerPolicy
+
+
+class TestRoundRobin:
+    def test_picks_head(self):
+        sched = RoundRobinScheduler()
+        assert sched.pick(0, ["t1", "t2"], {0: None}) == 0
+
+    def test_empty_queue_idles(self):
+        sched = RoundRobinScheduler()
+        assert sched.pick(0, [], {0: None}) is None
+
+    def test_never_preempts(self):
+        sched = RoundRobinScheduler()
+        assert sched.should_preempt(0, "cur", ["t"], {0: "cur"}) is None
+
+    def test_no_resched_interval(self):
+        assert RoundRobinScheduler().resched_interval_us is None
+
+    def test_quantum_default_100ms(self):
+        assert RoundRobinScheduler().quantum_us == 100_000.0
+
+    def test_dispatch_counter(self):
+        sched = RoundRobinScheduler()
+        sched.pick(0, ["t"], {})
+        sched.pick(0, [], {})
+        assert sched.stats["dispatches"] == 1
+
+    def test_on_sample_is_noop(self):
+        SchedulerPolicy().on_sample(None, 1.0, 1.0, 1.0)

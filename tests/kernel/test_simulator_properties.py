@@ -1,0 +1,136 @@
+"""Property-based tests: simulator invariants over random mini-workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cpu import PhaseBehavior
+from repro.kernel.sampling import SamplingPolicy
+from repro.kernel.simulator import ServerSimulator, SimConfig
+from repro.workloads.base import Phase, RequestSpec, Stage
+
+
+class RandomWorkload:
+    """A deterministic random-phase workload built from a seed."""
+
+    name = "random"
+    sampling_period_us = 50.0
+
+    def __init__(self, seed: int, max_phases: int = 6, multi_tier: bool = False):
+        self._seed = seed
+        self._max_phases = max_phases
+        self._multi_tier = multi_tier
+
+    def sample_request(self, rng, request_id):
+        n_phases = int(rng.integers(1, self._max_phases + 1))
+        phases = []
+        for k in range(n_phases):
+            refs = float(rng.uniform(0.0, 0.03))
+            phases.append(
+                Phase(
+                    name=f"p{k}",
+                    instructions=int(rng.integers(5_000, 400_000)),
+                    behavior=PhaseBehavior(
+                        base_cpi=float(rng.uniform(0.6, 4.0)),
+                        l2_refs_per_ins=refs,
+                        l2_miss_ratio=float(rng.uniform(0.0, 0.9)),
+                        cache_footprint=float(rng.uniform(0.0, 1.0)),
+                    ),
+                    entry_syscall="read" if rng.random() < 0.3 else None,
+                    syscall_rate_per_ins=(1 / 20_000) if rng.random() < 0.5 else 0.0,
+                    syscall_pool=("read", "write"),
+                )
+            )
+        if self._multi_tier and n_phases >= 2:
+            cut = n_phases // 2
+            stages = (
+                Stage(tier="front", phases=tuple(phases[:cut])),
+                Stage(tier="back", phases=tuple(phases[cut:])),
+            )
+        else:
+            stages = (Stage(tier="only", phases=tuple(phases)),)
+        return RequestSpec(
+            request_id=request_id, app="random", kind=f"k{n_phases}", stages=stages
+        )
+
+
+def run_random(seed, num_requests=6, concurrency=4, multi_tier=False, **overrides):
+    workload = RandomWorkload(seed, multi_tier=multi_tier)
+    config = SimConfig(
+        sampling=overrides.pop("sampling", SamplingPolicy.interrupt(50.0)),
+        num_requests=num_requests,
+        concurrency=concurrency,
+        seed=seed,
+        **overrides,
+    )
+    return ServerSimulator(workload, config).run()
+
+
+class TestInvariants:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_all_requests_complete_with_conserved_instructions(self, seed):
+        result = run_random(seed)
+        assert len(result.traces) == 6
+        for trace in result.traces:
+            spec_ins = trace.spec.total_instructions
+            # Compensated instructions cover the spec work; refill
+            # transients may add a bounded amount on top.
+            assert trace.total_instructions >= 0.98 * spec_ins
+            assert trace.total_instructions <= 1.6 * spec_ins + 10_000
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_counters_nonnegative_and_consistent(self, seed):
+        result = run_random(seed)
+        for trace in result.traces:
+            assert np.all(trace.instructions > 0)
+            assert np.all(trace.cycles > 0)
+            assert np.all(trace.l2_refs >= 0)
+            assert np.all(trace.l2_misses >= 0)
+            # Misses never exceed references (modulo injected-cost noise).
+            assert trace.l2_misses.sum() <= trace.l2_refs.sum() + 1e-6
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_periods_are_well_formed(self, seed):
+        result = run_random(seed)
+        for trace in result.traces:
+            assert np.all(trace.end >= trace.start)
+            assert np.all(np.diff(trace.start) >= -1e-6)
+            assert np.all((0 <= trace.core) & (trace.core < 4))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic(self, seed):
+        a = run_random(seed)
+        b = run_random(seed)
+        assert a.wall_cycles == b.wall_cycles
+        assert np.allclose(a.request_cpis(), b.request_cpis())
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_multi_tier_requests_complete(self, seed):
+        result = run_random(seed, multi_tier=True)
+        assert len(result.traces) == 6
+        for trace in result.traces:
+            assert trace.total_instructions >= 0.98 * trace.spec.total_instructions
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_serial_matches_solo_cpi(self, seed):
+        from repro.hardware.platform import serial_machine
+
+        result = run_random(
+            seed, num_requests=3, concurrency=1, machine=serial_machine()
+        )
+        for trace in result.traces:
+            solo = trace.spec.solo_cpi(220.0)
+            assert trace.overall_cpi() == pytest.approx(solo, rel=0.1)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_busy_time_bounded_by_wall_time(self, seed):
+        result = run_random(seed)
+        assert np.all(result.busy_cycles_per_core <= result.wall_cycles * (1 + 1e-9))

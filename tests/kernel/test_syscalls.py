@@ -1,0 +1,137 @@
+"""Tests for the syscall stream model and next-distance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cpu import PhaseBehavior
+from repro.kernel.syscalls import (
+    next_rate_syscall_cycles,
+    next_syscall_distance_cdf,
+    sample_next_syscall_distance,
+)
+from repro.workloads.base import Phase, RequestSpec, Stage, single_stage
+
+B = PhaseBehavior(1.0, 0.0, 0.0, 0.0)
+
+
+def spec_with(phases, stages=None):
+    if stages is None:
+        stages = single_stage("t", phases)
+    return RequestSpec(request_id=0, app="x", kind="k", stages=stages)
+
+
+class TestNextRateSyscall:
+    def test_zero_rate_infinite(self, rng):
+        assert next_rate_syscall_cycles(rng, 0.0, 1.0) == float("inf")
+
+    def test_mean_matches_rate(self, rng):
+        draws = [next_rate_syscall_cycles(rng, 1 / 1000, 2.0) for _ in range(4000)]
+        # mean cycles = cpi / rate = 2000
+        assert np.mean(draws) == pytest.approx(2000, rel=0.1)
+
+
+class TestSampleDistance:
+    def test_rate_phase_short_distances(self, rng):
+        spec = spec_with(
+            [
+                Phase(
+                    name="p",
+                    instructions=1_000_000,
+                    behavior=B,
+                    syscall_rate_per_ins=1 / 1000,
+                    syscall_pool=("read",),
+                )
+            ]
+        )
+        distances = [
+            sample_next_syscall_distance(spec, rng)[0] for _ in range(300)
+        ]
+        assert np.mean(distances) < 3000
+
+    def test_syscall_free_request_ends_at_completion(self, rng):
+        spec = spec_with([Phase(name="p", instructions=50_000, behavior=B)])
+        d_ins, d_us = sample_next_syscall_distance(spec, rng)
+        assert 0 <= d_ins <= 50_000
+        assert d_us == pytest.approx(d_ins / 3000.0, rel=1e-6)
+
+    def test_stops_at_entry_syscall(self, rng):
+        spec = spec_with(
+            [
+                Phase(name="a", instructions=10_000, behavior=B),
+                Phase(name="b", instructions=90_000, behavior=B, entry_syscall="read"),
+            ]
+        )
+        # From a fixed instant inside phase a, the walk must stop at the
+        # entry syscall of phase b (distance = remainder of phase a).
+        d_ins, _ = sample_next_syscall_distance(spec, rng, position=4_000.0)
+        assert d_ins == pytest.approx(6_000.0)
+
+    def test_stops_at_tier_boundary(self, rng):
+        stages = (
+            Stage(tier="a", phases=(Phase(name="p1", instructions=10_000, behavior=B),)),
+            Stage(tier="b", phases=(Phase(name="p2", instructions=90_000, behavior=B),)),
+        )
+        spec = spec_with(None, stages=stages)
+        d_ins, _ = sample_next_syscall_distance(spec, rng, position=2_500.0)
+        assert d_ins == pytest.approx(7_500.0)
+
+    def test_position_out_of_range_rejected(self, rng):
+        spec = spec_with([Phase(name="a", instructions=10_000, behavior=B)])
+        with pytest.raises(ValueError):
+            sample_next_syscall_distance(spec, rng, position=10_000.0)
+
+    def test_time_uses_solo_cpi(self, rng):
+        slow = PhaseBehavior(3.0, 0.0, 0.0, 0.0)
+        spec = spec_with([Phase(name="p", instructions=30_000, behavior=slow)])
+        d_ins, d_us = sample_next_syscall_distance(spec, rng)
+        assert d_us == pytest.approx(d_ins * 3.0 / 3000.0, rel=1e-6)
+
+
+class TestCdf:
+    def test_cdf_monotone_and_bounded(self, rng):
+        spec = spec_with(
+            [
+                Phase(
+                    name="p",
+                    instructions=100_000,
+                    behavior=B,
+                    syscall_rate_per_ins=1 / 5000,
+                    syscall_pool=("read",),
+                )
+            ]
+        )
+        grid_us = np.array([1.0, 4.0, 16.0, 64.0])
+        grid_ins = grid_us * 3000.0
+        cdf_t, cdf_i = next_syscall_distance_cdf(
+            [spec] * 10, rng, grid_us, grid_ins, samples_per_request=30
+        )
+        for cdf in (cdf_t, cdf_i):
+            assert np.all(np.diff(cdf) >= 0)
+            assert np.all((0 <= cdf) & (cdf <= 1))
+
+    def test_instruction_weighting(self, rng):
+        """Long syscall-free requests must dominate the pooled instants."""
+        chatty = spec_with(
+            [
+                Phase(
+                    name="c",
+                    instructions=10_000,
+                    behavior=B,
+                    syscall_rate_per_ins=1 / 100,
+                    syscall_pool=("read",),
+                )
+            ]
+        )
+        silent = spec_with([Phase(name="s", instructions=990_000, behavior=B)])
+        grid_us = np.array([1.0])
+        grid_ins = np.array([3000.0])
+        cdf_t, _ = next_syscall_distance_cdf(
+            [chatty, silent], rng, grid_us, grid_ins, samples_per_request=100
+        )
+        # ~99% of instants land in the silent request, whose next-syscall
+        # distance (to completion) is mostly far beyond 1us.
+        assert cdf_t[0] < 0.2
+
+    def test_empty_specs_raise(self, rng):
+        with pytest.raises(ValueError):
+            next_syscall_distance_cdf([], rng, np.array([1.0]), np.array([1.0]))

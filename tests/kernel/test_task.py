@@ -1,0 +1,69 @@
+"""Tests for schedulable tasks."""
+
+import pytest
+
+from repro.hardware.cpu import PhaseBehavior
+from repro.kernel.task import Task, TaskState
+from repro.workloads.base import Phase, RequestSpec, Stage
+
+B = PhaseBehavior(1.0, 0.0, 0.0, 0.0)
+
+
+def make_task():
+    stages = (
+        Stage(
+            tier="a",
+            phases=(
+                Phase(name="p0", instructions=100, behavior=B),
+                Phase(name="p1", instructions=200, behavior=B, entry_syscall="read"),
+            ),
+        ),
+        Stage(tier="b", phases=(Phase(name="p2", instructions=50, behavior=B),)),
+    )
+    spec = RequestSpec(request_id=7, app="t", kind="k", stages=stages)
+    return Task(task_id=1, request=spec, stage_index=0, home_core=0)
+
+
+class TestTask:
+    def test_initial_state(self):
+        task = make_task()
+        assert task.state is TaskState.READY
+        assert task.current_phase.name == "p0"
+        assert task.remaining_in_phase == 100
+        assert task.request_id == 7
+        assert not task.on_last_stage
+
+    def test_advance_instructions(self):
+        task = make_task()
+        task.advance_instructions(30)
+        assert task.remaining_in_phase == 70
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_task().advance_instructions(-1)
+
+    def test_enter_next_phase_returns_entry_syscall(self):
+        task = make_task()
+        task.advance_instructions(100)
+        assert task.enter_next_phase() == "read"
+        assert task.current_phase.name == "p1"
+        assert task.remaining_in_phase == 200
+
+    def test_enter_next_phase_on_last_raises(self):
+        task = make_task()
+        task.enter_next_phase()
+        assert task.on_last_phase
+        with pytest.raises(RuntimeError):
+            task.enter_next_phase()
+
+    def test_remaining_clamped_nonnegative(self):
+        task = make_task()
+        task.advance_instructions(150)  # float overshoot happens in the sim
+        assert task.remaining_in_phase == 0.0
+
+    def test_last_stage_detection(self):
+        task = make_task()
+        assert not task.on_last_stage
+        last = Task(task_id=2, request=task.request, stage_index=1, home_core=0)
+        assert last.on_last_stage
+        assert last.on_last_phase

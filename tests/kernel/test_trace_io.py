@@ -1,0 +1,69 @@
+"""Tests for JSON trace export/import."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.kernel.trace_io import load_traces, save_traces, trace_from_dict, trace_to_dict
+
+
+class TestRoundTrip:
+    def test_counters_preserved(self, web_run, tmp_path):
+        path = str(tmp_path / "traces.json")
+        save_traces(web_run.traces, path)
+        loaded = load_traces(path)
+        assert len(loaded) == len(web_run.traces)
+        for orig, back in zip(web_run.traces, loaded):
+            assert back.spec.request_id == orig.spec.request_id
+            assert back.spec.kind == orig.spec.kind
+            assert np.allclose(back.instructions, orig.instructions)
+            assert np.allclose(back.cycles, orig.cycles)
+            assert np.allclose(back.l2_refs, orig.l2_refs)
+            assert np.allclose(back.l2_misses, orig.l2_misses)
+            assert back.syscall_events == orig.syscall_events
+
+    def test_analysis_works_on_loaded_traces(self, web_run, tmp_path):
+        """Loaded traces support the same offline analyses."""
+        from repro.core.variation import captured_variation
+
+        path = str(tmp_path / "traces.json")
+        save_traces(web_run.traces, path)
+        loaded = load_traces(path)
+        orig_cov = captured_variation(web_run.traces, "cpi")
+        loaded_cov = captured_variation(loaded, "cpi")
+        assert loaded_cov == pytest.approx(orig_cov, rel=1e-6)
+        series = loaded[0].series("cpi", 10_000)
+        assert len(series) >= 1
+
+    def test_metadata_preserved(self, web_run, tmp_path):
+        path = str(tmp_path / "traces.json")
+        save_traces(web_run.traces[:3], path)
+        loaded = load_traces(path)
+        assert loaded[0].spec.metadata["file_id"] == (
+            web_run.traces[0].spec.metadata["file_id"]
+        )
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            load_traces(str(path))
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(
+            json.dumps({"format": "repro-request-traces", "version": 99, "traces": []})
+        )
+        with pytest.raises(ValueError):
+            load_traces(str(path))
+
+    def test_malformed_trace_dict_rejected(self):
+        with pytest.raises(ValueError):
+            trace_from_dict({"request_id": 1})
+
+    def test_dict_is_json_serializable(self, tpcc_run):
+        payload = trace_to_dict(tpcc_run.traces[0])
+        json.dumps(payload)  # must not raise

@@ -1,0 +1,190 @@
+"""Tests for request-context tracking and trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.counters import CounterSnapshot, SamplingContext, SamplingCostModel
+from repro.hardware.cpu import PhaseBehavior
+from repro.kernel.tracker import PeriodRecord, RequestTrace, RequestTracker
+from repro.workloads.base import Phase, RequestSpec, single_stage
+
+B = PhaseBehavior(1.0, 0.01, 0.2, 0.3)
+
+
+def make_spec(request_id=0):
+    return RequestSpec(
+        request_id=request_id,
+        app="t",
+        kind="k",
+        stages=single_stage("t", [Phase(name="p", instructions=1000, behavior=B)]),
+    )
+
+
+def period(start, end, core=0, cycles=None, ins=None, refs=0.0, misses=0.0,
+           inj_ik=0, inj_int=0):
+    cycles = cycles if cycles is not None else end - start
+    ins = ins if ins is not None else cycles / 2.0
+    return PeriodRecord(
+        start_cycle=start,
+        end_cycle=end,
+        core=core,
+        counters=CounterSnapshot(cycles, ins, refs, misses),
+        injected_in_kernel=inj_ik,
+        injected_interrupt=inj_int,
+    )
+
+
+def make_trace(periods, cost_model=None, syscalls=()):
+    return RequestTrace(
+        spec=make_spec(),
+        arrival_cycle=0.0,
+        completion_cycle=max(p.end_cycle for p in periods),
+        periods=periods,
+        syscall_events=list(syscalls),
+        cost_model=cost_model,
+        frequency_ghz=3.0,
+    )
+
+
+class TestTracker:
+    def test_lifecycle(self):
+        tracker = RequestTracker(cost_model=None, frequency_ghz=3.0)
+        spec = make_spec()
+        tracker.start_request(spec, 0.0)
+        assert tracker.open_requests == 1
+        tracker.record_syscall(0, 5.0, "read")
+        tracker.close_period(0, period(0, 10))
+        trace = tracker.finish_request(0, 10.0)
+        assert tracker.open_requests == 0
+        assert trace.num_periods == 1
+        assert trace.syscall_events == [(5.0, "read")]
+
+    def test_duplicate_request_rejected(self):
+        tracker = RequestTracker(cost_model=None, frequency_ghz=3.0)
+        tracker.start_request(make_spec(), 0.0)
+        with pytest.raises(ValueError):
+            tracker.start_request(make_spec(), 1.0)
+
+    def test_empty_periods_dropped(self):
+        tracker = RequestTracker(cost_model=None, frequency_ghz=3.0)
+        tracker.start_request(make_spec(), 0.0)
+        tracker.close_period(
+            0, PeriodRecord(0, 0, 0, CounterSnapshot())
+        )
+        tracker.close_period(0, period(0, 10))
+        trace = tracker.finish_request(0, 10.0)
+        assert trace.num_periods == 1
+
+    def test_no_periods_raises(self):
+        tracker = RequestTracker(cost_model=None, frequency_ghz=3.0)
+        tracker.start_request(make_spec(), 0.0)
+        with pytest.raises(ValueError):
+            tracker.finish_request(0, 10.0)
+
+
+class TestTraceBasics:
+    def test_periods_sorted_by_start(self):
+        trace = make_trace([period(100, 200), period(0, 50)])
+        assert trace.start[0] == 0
+
+    def test_totals_and_cpu_time(self):
+        trace = make_trace([period(0, 300), period(400, 700)])
+        assert trace.total_cycles == pytest.approx(600)
+        assert trace.total_instructions == pytest.approx(300)
+        assert trace.cpu_time_us() == pytest.approx(600 / 3000)
+
+    def test_overall_cpi(self):
+        trace = make_trace([period(0, 100)])
+        assert trace.overall_cpi() == pytest.approx(2.0)
+
+    def test_metric_selection(self):
+        trace = make_trace([period(0, 100, refs=10.0, misses=4.0)])
+        assert trace.overall("l2_refs_per_ins") == pytest.approx(10.0 / 50.0)
+        assert trace.overall("l2_miss_per_ins") == pytest.approx(4.0 / 50.0)
+        assert trace.overall("l2_miss_ratio") == pytest.approx(0.4)
+
+    def test_unknown_metric_raises(self):
+        trace = make_trace([period(0, 100)])
+        with pytest.raises(ValueError):
+            trace.overall("ipc")
+
+    def test_period_values_drops_zero_denominator(self):
+        trace = make_trace(
+            [period(0, 100, refs=0.0, misses=0.0), period(100, 200, refs=5.0, misses=1.0)]
+        )
+        values, weights = trace.period_values("l2_miss_ratio")
+        assert values.size == 1
+        assert values[0] == pytest.approx(0.2)
+
+
+class TestCompensation:
+    def test_minimum_cost_subtracted(self):
+        model = SamplingCostModel()
+        ik = model.minimum_cost(SamplingContext.IN_KERNEL)
+        raw = period(0, 10_000, cycles=10_000, ins=5000, inj_ik=2)
+        trace = make_trace([raw], cost_model=model)
+        assert trace.instructions[0] == pytest.approx(5000 - 2 * ik.instructions)
+        assert trace.cycles[0] == pytest.approx(10_000 - 2 * ik.cycles)
+        # Raw values are preserved alongside.
+        assert trace.raw_instructions[0] == pytest.approx(5000)
+
+    def test_never_negative(self):
+        model = SamplingCostModel()
+        tiny = period(0, 100, cycles=100, ins=10, inj_ik=5)
+        trace = make_trace([tiny], cost_model=model)
+        assert trace.instructions[0] >= 1.0
+        assert trace.cycles[0] >= 1.0
+
+    def test_no_model_keeps_raw(self):
+        raw = period(0, 10_000, cycles=10_000, ins=5000, inj_ik=2)
+        trace = make_trace([raw], cost_model=None)
+        assert trace.instructions[0] == pytest.approx(5000)
+
+
+class TestWindows:
+    def test_window_counters_conserve_mass(self):
+        trace = make_trace([period(0, 600), period(600, 1000)])
+        win = trace.window_counters(100)
+        assert win["instructions"].sum() == pytest.approx(trace.total_instructions)
+        assert win["cycles"].sum() == pytest.approx(trace.total_cycles)
+
+    def test_series_values_reasonable(self):
+        trace = make_trace([period(0, 100, refs=25.0, misses=5.0)])
+        series = trace.series("cpi", 10)
+        assert np.allclose(series.values, 2.0)
+
+    def test_series_handles_zero_denominator_windows(self):
+        trace = make_trace([period(0, 100, refs=0.0, misses=0.0)])
+        series = trace.series("l2_miss_ratio", 10)
+        assert np.all(series.values == 0.0)
+
+    def test_invalid_window_raises(self):
+        trace = make_trace([period(0, 100)])
+        with pytest.raises(ValueError):
+            trace.window_counters(0)
+
+
+class TestExecTimeline:
+    def test_exec_offset_skips_gaps(self):
+        # Two periods with a scheduling gap between them.
+        trace = make_trace([period(0, 100), period(500, 600)])
+        assert trace.exec_offset_of_cycle(50) == pytest.approx(50)
+        assert trace.exec_offset_of_cycle(300) == pytest.approx(100)  # in gap
+        assert trace.exec_offset_of_cycle(550) == pytest.approx(150)
+        assert trace.exec_offset_of_cycle(10_000) == pytest.approx(200)
+
+    def test_counters_in_exec_window(self):
+        trace = make_trace([period(0, 100), period(500, 600)])
+        counters = trace.counters_in_exec_window(50, 150)
+        assert counters.cycles == pytest.approx(100)
+        assert counters.instructions == pytest.approx(50)
+
+    def test_window_clamped_to_execution(self):
+        trace = make_trace([period(0, 100)])
+        counters = trace.counters_in_exec_window(-50, 1000)
+        assert counters.cycles == pytest.approx(100)
+
+    def test_inverted_window_raises(self):
+        trace = make_trace([period(0, 100)])
+        with pytest.raises(ValueError):
+            trace.counters_in_exec_window(50, 10)

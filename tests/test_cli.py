@@ -1,0 +1,80 @@
+"""Tests for the repro-simulate CLI."""
+
+import pytest
+
+from repro.cli import main, parse_sampling, parse_scheduler
+from repro.kernel.contention import ContentionEasingScheduler
+from repro.kernel.sampling import SamplingMode
+from repro.kernel.scheduler import RoundRobinScheduler
+
+
+class TestParsers:
+    def test_interrupt_spec(self):
+        policy = parse_sampling("interrupt:50")
+        assert policy.mode is SamplingMode.INTERRUPT
+        assert policy.interrupt_period_us == 50.0
+
+    def test_interrupt_default_period(self):
+        assert parse_sampling("interrupt").interrupt_period_us == 100.0
+
+    def test_syscall_spec(self):
+        policy = parse_sampling("syscall:8,60")
+        assert policy.mode is SamplingMode.SYSCALL_TRIGGERED
+        assert policy.t_syscall_min_us == 8.0
+        assert policy.t_backup_int_us == 60.0
+
+    def test_syscall_missing_args(self):
+        with pytest.raises(ValueError):
+            parse_sampling("syscall:8")
+
+    def test_ctx_spec(self):
+        assert parse_sampling("ctx").mode is SamplingMode.CONTEXT_SWITCH_ONLY
+
+    def test_unknown_spec(self):
+        with pytest.raises(ValueError):
+            parse_sampling("magic:1")
+
+    def test_scheduler_specs(self):
+        assert isinstance(parse_scheduler("roundrobin", 0.1), RoundRobinScheduler)
+        contention = parse_scheduler("contention", 0.05)
+        assert isinstance(contention, ContentionEasingScheduler)
+        assert contention.high_usage_threshold == 0.05
+        assert contention.adaptive_threshold
+        with pytest.raises(ValueError):
+            parse_scheduler("fifo", 0.1)
+
+
+class TestMain:
+    def test_basic_run(self, capsys):
+        assert main(["tpcc", "--requests", "6", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "tpcc: 6 requests" in out
+        assert "request CPI" in out
+        assert "first" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["nosuchapp"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_serial_machine(self, capsys):
+        assert main(["webserver", "--requests", "4", "--cores", "1"]) == 0
+        assert "1 core(s)" in capsys.readouterr().out
+
+    def test_custom_sampling(self, capsys):
+        assert main(
+            ["webserver", "--requests", "4", "--sampling", "syscall:8,60"]
+        ) == 0
+
+    def test_contention_scheduler(self, capsys):
+        assert main(
+            ["tpch", "--requests", "4", "--scheduler", "contention"]
+        ) == 0
+
+    def test_export(self, tmp_path, capsys):
+        out_file = tmp_path / "t.json"
+        assert main(
+            ["tpcc", "--requests", "4", "--export", str(out_file)]
+        ) == 0
+        from repro.kernel.trace_io import load_traces
+
+        assert len(load_traces(str(out_file))) == 4

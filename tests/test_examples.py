@@ -1,0 +1,37 @@
+"""Every shipped example must run end to end (they are documentation)."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def load_module(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_present(self):
+        names = {p.stem for p in EXAMPLES}
+        assert {
+            "quickstart",
+            "request_classification",
+            "adaptive_scheduling",
+            "online_prediction",
+            "capacity_planning",
+            "distributed_tiers",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_example_runs(self, path, capsys):
+        module = load_module(path)
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out) > 100  # produced a real report

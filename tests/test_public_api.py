@@ -1,0 +1,54 @@
+"""The package's public API surface: everything advertised must work."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_documented_quickstart_runs(self):
+        """The module docstring's quickstart snippet must stay true."""
+        result = repro.run_workload(
+            "tpcc",
+            num_requests=5,
+            sampling=repro.SamplingPolicy.interrupt(100.0),
+        )
+        for trace in result.traces[:3]:
+            assert trace.spec.kind
+            assert trace.overall_cpi() > 0
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.hardware",
+            "repro.kernel",
+            "repro.workloads",
+            "repro.core",
+            "repro.analysis",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_import(self, module):
+        importlib.import_module(module)
+
+    def test_subpackage_alls_resolve(self):
+        for name in ("repro.hardware", "repro.kernel", "repro.workloads", "repro.core"):
+            module = importlib.import_module(name)
+            for symbol in getattr(module, "__all__", []):
+                assert hasattr(module, symbol), (name, symbol)
+
+    def test_every_public_callable_has_docstring(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"

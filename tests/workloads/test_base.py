@@ -1,0 +1,128 @@
+"""Tests for the Phase/Stage/RequestSpec abstractions."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cpu import PhaseBehavior
+from repro.workloads.base import Phase, RequestSpec, Stage, single_stage
+
+BEHAVIOR = PhaseBehavior(
+    base_cpi=1.0, l2_refs_per_ins=0.01, l2_miss_ratio=0.2, cache_footprint=0.3
+)
+
+
+def make_phase(name="p", ins=1000, entry=None, rate=0.0, pool=()):
+    return Phase(
+        name=name,
+        instructions=ins,
+        behavior=BEHAVIOR,
+        entry_syscall=entry,
+        syscall_rate_per_ins=rate,
+        syscall_pool=pool,
+    )
+
+
+def make_spec(stages=None):
+    if stages is None:
+        stages = single_stage("tier", [make_phase("a", 1000), make_phase("b", 2000)])
+    return RequestSpec(request_id=0, app="test", kind="k", stages=stages)
+
+
+class TestPhase:
+    def test_mean_syscall_distance(self):
+        p = make_phase(rate=1 / 500, pool=("read",))
+        assert p.mean_syscall_distance_ins() == pytest.approx(500)
+
+    def test_no_rate_infinite_distance(self):
+        assert make_phase().mean_syscall_distance_ins() == float("inf")
+
+    def test_zero_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            make_phase(ins=0)
+
+    def test_rate_without_pool_rejected(self):
+        with pytest.raises(ValueError):
+            make_phase(rate=0.1)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            make_phase(rate=-0.1, pool=("x",))
+
+
+class TestStage:
+    def test_instructions_sum(self):
+        stage = Stage(tier="t", phases=(make_phase(ins=10), make_phase(ins=20)))
+        assert stage.instructions == 30
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(ValueError):
+            Stage(tier="t", phases=())
+
+
+class TestRequestSpec:
+    def test_total_instructions(self):
+        assert make_spec().total_instructions == 3000
+
+    def test_phases_iterates_all_stages(self):
+        stages = (
+            Stage(tier="a", phases=(make_phase("p1"),)),
+            Stage(tier="b", phases=(make_phase("p2"), make_phase("p3"))),
+        )
+        spec = make_spec(stages)
+        assert [p.name for p in spec.phases()] == ["p1", "p2", "p3"]
+
+    def test_no_stages_rejected(self):
+        with pytest.raises(ValueError):
+            RequestSpec(request_id=0, app="a", kind="k", stages=())
+
+    def test_solo_cpi_weighted(self):
+        spec = make_spec()
+        expected = BEHAVIOR.solo_cpi(220.0)
+        assert spec.solo_cpi(220.0) == pytest.approx(expected)
+
+    def test_syscall_sequence_contains_entries(self):
+        stages = single_stage(
+            "t", [make_phase("a", entry="open"), make_phase("b", entry="writev")]
+        )
+        seq = make_spec(stages).syscall_sequence(np.random.default_rng(0))
+        assert seq == ["open", "writev"]
+
+    def test_syscall_sequence_tier_boundaries(self):
+        stages = (
+            Stage(tier="a", phases=(make_phase("p1"),)),
+            Stage(tier="b", phases=(make_phase("p2"),)),
+        )
+        seq = make_spec(stages).syscall_sequence(np.random.default_rng(0))
+        # Departure then arrival socket ops at the hand-off.
+        assert "sendto" in seq and "recvfrom" in seq
+
+    def test_syscall_sequence_rate_calls_scale(self):
+        stages = single_stage(
+            "t", [make_phase("a", ins=100_000, rate=1 / 1000, pool=("read", "poll"))]
+        )
+        seq = make_spec(stages).syscall_sequence(np.random.default_rng(0))
+        assert 60 <= len(seq) <= 140  # ~100 expected
+
+    def test_solo_series_constant_for_uniform_request(self):
+        spec = make_spec()
+        series = spec.solo_series(500, miss_penalty_cycles=220.0)
+        assert np.allclose(series, BEHAVIOR.solo_cpi(220.0))
+
+    def test_solo_series_mass_conservation(self):
+        """Windowed CPI must integrate back to the total solo cycles."""
+        phases = [make_phase("a", 1200), make_phase("b", 777)]
+        b2 = PhaseBehavior(3.0, 0.0, 0.0, 0.0)
+        phases[1] = Phase(name="b", instructions=777, behavior=b2)
+        spec = make_spec(single_stage("t", phases))
+        window = 250
+        series = spec.solo_series(window, 220.0)
+        total_cycles = series.sum() * window
+        expected = 1200 * BEHAVIOR.solo_cpi(220.0) + 777 * 3.0
+        # The last partial window is dropped by the integer window count.
+        covered = (spec.total_instructions // window) * window
+        assert total_cycles <= expected
+        assert total_cycles >= expected * covered / spec.total_instructions - window * 5
+
+    def test_solo_series_invalid_window(self):
+        with pytest.raises(ValueError):
+            make_spec().solo_series(0)

@@ -1,0 +1,55 @@
+"""Tests for static workload characterization."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.describe import describe, describe_table
+from repro.workloads.registry import make_workload
+
+
+class TestDescribe:
+    def test_tpcc_profile_matches_paper_facts(self):
+        profiles = describe(make_workload("tpcc"), n_requests=600, seed=1)
+        assert profiles["new_order"].share == pytest.approx(0.45, abs=0.06)
+        assert profiles["payment"].share == pytest.approx(0.43, abs=0.06)
+        assert profiles["new_order"].mean_instructions == pytest.approx(
+            1.4e6, rel=0.25
+        )
+        assert profiles["new_order"].mean_stages == 1.0
+
+    def test_shares_sum_to_one(self):
+        profiles = describe(make_workload("webserver"), n_requests=300, seed=2)
+        assert sum(p.share for p in profiles.values()) == pytest.approx(1.0)
+
+    def test_rubis_multi_stage(self):
+        profiles = describe(make_workload("rubis"), n_requests=40, seed=3)
+        for p in profiles.values():
+            assert p.mean_stages == 5.0
+
+    def test_cache_appetite_ordering(self):
+        """TPCH wants the cache, WeBWorK does not — the Figure 1 driver."""
+        tpch = describe(make_workload("tpch"), n_requests=34, seed=4)
+        webwork = describe(make_workload("webwork"), n_requests=10, seed=4)
+        tpch_fp = np.mean([p.mean_footprint for p in tpch.values()])
+        webwork_fp = np.mean([p.mean_footprint for p in webwork.values()])
+        assert tpch_fp > 0.8
+        assert webwork_fp < 0.15
+
+    def test_syscall_density_ordering(self):
+        """Web server chattiest, WeBWorK quietest (Figure 4 driver)."""
+        web = describe(make_workload("webserver"), n_requests=100, seed=5)
+        webwork = describe(make_workload("webwork"), n_requests=8, seed=5)
+        web_density = np.mean([p.syscalls_per_mega_ins for p in web.values()])
+        webwork_density = np.mean(
+            [p.syscalls_per_mega_ins for p in webwork.values()]
+        )
+        assert web_density > 30 * webwork_density
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            describe(make_workload("tpcc"), n_requests=0)
+
+    def test_table_renders(self):
+        text = describe_table(make_workload("tpcc"), n_requests=60, seed=6)
+        assert "workload profile: tpcc" in text
+        assert "new_order" in text
