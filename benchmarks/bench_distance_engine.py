@@ -1,0 +1,168 @@
+"""Benchmark: the parallel + cached pairwise-distance engine.
+
+A fig7-style workload — DTW with asynchrony penalty over 150 request CPI
+variation sequences (11,175 pairs) — computed three ways:
+
+* serial double loop (the pre-engine baseline),
+* `DistanceEngine(jobs=4)` fanning pair chunks to worker processes,
+* a 100%-hit rerun against the engine's on-disk cache.
+
+All three matrices must be bit-identical.  The >= 2x speedup assertion is
+hardware-gated: it needs at least 4 usable CPUs, so on smaller machines it
+reports the measured ratio and skips.  Run directly for a readable report:
+
+    PYTHONPATH=src python benchmarks/bench_distance_engine.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.distengine import DistanceCache, DistanceEngine
+from repro.core.dtw import dtw_distance
+
+N_REQUESTS = 150
+PENALTY = 0.4
+JOBS = 4
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def fig7_style_series(n: int = N_REQUESTS, seed: int = 7):
+    """Synthetic CPI variation patterns: length-varying noisy random walks
+    around a few per-kind baselines, like fig7's per-request series."""
+    rng = np.random.default_rng(seed)
+    baselines = (1.6, 2.4, 3.1)
+    series = []
+    for i in range(n):
+        length = int(rng.integers(40, 90))
+        base = baselines[i % len(baselines)]
+        walk = np.cumsum(rng.normal(0.0, 0.08, size=length))
+        series.append(base + walk + rng.normal(0.0, 0.15, size=length))
+    return series
+
+
+def serial_matrix(items, fn):
+    n = len(items)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = float(fn(items[i], items[j]))
+            matrix[i, j] = matrix[j, i] = d
+    return matrix
+
+
+def distance(a, b):
+    return dtw_distance(a, b, asynchrony_penalty=PENALTY)
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_benchmark(cache_path: str):
+    items = fig7_style_series()
+    key = f"dtw:p={PENALTY!r}"
+
+    reference, t_serial = timed(lambda: serial_matrix(items, distance))
+
+    parallel_engine = DistanceEngine(jobs=JOBS)
+    par, t_parallel = timed(lambda: parallel_engine.matrix(items, distance))
+
+    warm_engine = DistanceEngine(jobs=JOBS, cache=DistanceCache(path=cache_path))
+    warm, t_warm = timed(
+        lambda: warm_engine.matrix(items, distance, distance_key=key)
+    )
+    # Fresh engine + fresh cache object: every hit comes from disk state.
+    cold_engine = DistanceEngine(jobs=JOBS, cache=DistanceCache(path=cache_path))
+    hit, t_cached = timed(
+        lambda: cold_engine.matrix(items, distance, distance_key=key)
+    )
+
+    return {
+        "reference": reference,
+        "parallel": par,
+        "cache_fill": warm,
+        "cache_hit": hit,
+        "t_serial": t_serial,
+        "t_parallel": t_parallel,
+        "t_cache_fill": t_warm,
+        "t_cached": t_cached,
+        "cache_hits": cold_engine.cache.hits,
+        "cache_misses": cold_engine.cache.misses,
+        "n_pairs": N_REQUESTS * (N_REQUESTS - 1) // 2,
+    }
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    path = tmp_path_factory.mktemp("distcache") / "distances.json"
+    return run_benchmark(str(path))
+
+
+class TestDistanceEngineBench:
+    def test_parallel_bit_identical(self, report):
+        assert np.array_equal(report["parallel"], report["reference"])
+
+    def test_cached_bit_identical(self, report):
+        assert np.array_equal(report["cache_fill"], report["reference"])
+        assert np.array_equal(report["cache_hit"], report["reference"])
+
+    def test_cache_rerun_is_all_hits(self, report):
+        assert report["cache_misses"] == 0
+        assert report["cache_hits"] == report["n_pairs"]
+
+    def test_cache_rerun_near_constant_time(self, report):
+        # A 100%-hit rerun does no distance arithmetic; it should beat the
+        # serial computation by a wide margin even on one core.
+        assert report["t_cached"] < report["t_serial"] / 2
+
+    def test_parallel_speedup(self, report):
+        speedup = report["t_serial"] / report["t_parallel"]
+        if usable_cpus() < JOBS:
+            pytest.skip(
+                f"only {usable_cpus()} usable CPU(s); measured speedup "
+                f"{speedup:.2f}x (needs >= {JOBS} CPUs for the 2x claim)"
+            )
+        assert speedup >= 2.0
+
+
+def main() -> None:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        r = run_benchmark(os.path.join(tmp, "distances.json"))
+    identical = np.array_equal(r["parallel"], r["reference"]) and np.array_equal(
+        r["cache_hit"], r["reference"]
+    )
+    print(
+        f"fig7-style DTW matrix: {N_REQUESTS} requests, {r['n_pairs']} pairs "
+        f"({usable_cpus()} usable CPU(s))"
+    )
+    print(f"  serial loop          {r['t_serial']:8.2f} s")
+    print(
+        f"  engine jobs={JOBS}        {r['t_parallel']:8.2f} s "
+        f"({r['t_serial'] / r['t_parallel']:.2f}x vs serial)"
+    )
+    print(f"  cache fill           {r['t_cache_fill']:8.2f} s")
+    print(
+        f"  cache-hit rerun      {r['t_cached']:8.2f} s "
+        f"({r['cache_hits']}/{r['n_pairs']} hits, "
+        f"{r['t_serial'] / r['t_cached']:.0f}x vs serial)"
+    )
+    print(f"  matrices bit-identical: {identical}")
+
+
+if __name__ == "__main__":
+    main()

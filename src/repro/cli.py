@@ -5,6 +5,7 @@ Usage examples::
     repro-simulate tpcc --requests 60 --sampling interrupt:100
     repro-simulate webserver --sampling syscall:8,60 --export traces.json
     repro-simulate tpch --scheduler contention --requests 40 --summary-metric cpi
+    repro-simulate tpcc --requests 80 --classify 4 --jobs 4
 """
 
 from __future__ import annotations
@@ -15,6 +16,9 @@ import sys
 import numpy as np
 
 from repro.analysis.report import format_table
+from repro.core.clustering import distance_matrix, k_medoids
+from repro.core.distances import l1_distance, unequal_length_penalty
+from repro.core.distengine import DistanceEngine
 from repro.core.variation import captured_variation, inter_request_variation
 from repro.hardware.platform import WOODCREST, serial_machine
 from repro.kernel.contention import ContentionEasingScheduler
@@ -25,17 +29,28 @@ from repro.kernel.trace_io import save_traces
 from repro.workloads.registry import SERVER_APPS, available_workloads, make_workload
 
 
+def _spec_float(text: str, spec: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(
+            f"invalid sampling spec {spec!r}: {text!r} is not a number"
+        ) from None
+
+
 def parse_sampling(text: str) -> SamplingPolicy:
     """Parse ``interrupt:<period_us>``, ``syscall:<tmin>,<tbackup>``,
     ``ctx`` into a sampling policy."""
     kind, _, args = text.partition(":")
     if kind == "interrupt":
-        return SamplingPolicy.interrupt(float(args or "100"))
+        return SamplingPolicy.interrupt(_spec_float(args or "100", text))
     if kind == "syscall":
         t_min, _, t_backup = args.partition(",")
         if not t_min or not t_backup:
             raise ValueError("syscall sampling needs '<tmin_us>,<tbackup_us>'")
-        return SamplingPolicy.syscall_triggered(float(t_min), float(t_backup))
+        return SamplingPolicy.syscall_triggered(
+            _spec_float(t_min, text), _spec_float(t_backup, text)
+        )
     if kind == "ctx":
         return SamplingPolicy(mode=SamplingMode.CONTEXT_SWITCH_ONLY)
     raise ValueError(f"unknown sampling spec {text!r}")
@@ -51,13 +66,26 @@ def parse_scheduler(text: str, threshold: float):
     raise ValueError(f"unknown scheduler {text!r}")
 
 
+def positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text!r}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-simulate",
         description="Simulate a server workload and report request behavior",
     )
     parser.add_argument("workload", help=f"one of {', '.join(SERVER_APPS)}")
-    parser.add_argument("--requests", type=int, default=40)
+    parser.add_argument(
+        "--requests", type=positive_int, default=40,
+        help="number of requests to simulate (>= 1, default 40)",
+    )
     parser.add_argument("--concurrency", type=int, default=None)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -80,7 +108,51 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--top", type=int, default=5, help="how many requests to print"
     )
+    parser.add_argument(
+        "--classify", type=positive_int, default=None, metavar="K",
+        help="cluster the requests into K groups by CPI-variation L1 "
+        "distance (k-medoids) and print a per-cluster summary",
+    )
+    parser.add_argument(
+        "--jobs", type=positive_int, default=1,
+        help="worker processes for the --classify pairwise-distance "
+        "matrix (default 1)",
+    )
     return parser
+
+
+def classify_requests(traces, window_instructions: float, k: int, seed: int,
+                      jobs: int = 1) -> str:
+    """k-medoids cluster summary of simulated requests (L1 on CPI series)."""
+    series = [t.series("cpi", window_instructions).values for t in traces]
+    rng = np.random.default_rng(seed)
+    penalty = unequal_length_penalty(np.concatenate(series), rng)
+    engine = DistanceEngine(jobs=jobs)
+    matrix = distance_matrix(
+        series,
+        lambda a, b: l1_distance(a, b, penalty=penalty),
+        engine=engine,
+        distance_key=f"l1:p={penalty!r}",
+    )
+    clusters = k_medoids(
+        matrix, k=min(k, len(traces)), rng=np.random.default_rng(seed)
+    )
+    cpu_times = np.array([t.cpu_time_us() for t in traces])
+    cpis = np.array([t.overall_cpi() for t in traces])
+    rows = []
+    for cluster, medoid in enumerate(clusters.medoids):
+        members = clusters.members(cluster)
+        rows.append(
+            {
+                "cluster": cluster,
+                "size": int(members.size),
+                "medoid": traces[int(medoid)].spec.request_id,
+                "kind": traces[int(medoid)].spec.kind,
+                "mean_cpu_us": float(cpu_times[members].mean()),
+                "mean_cpi": float(cpis[members].mean()),
+            }
+        )
+    return format_table(rows, title=f"k-medoids clusters (k={len(rows)})")
 
 
 def main(argv=None) -> int:
@@ -96,17 +168,21 @@ def main(argv=None) -> int:
         return 2
 
     workload = make_workload(args.workload)
-    sampling = (
-        parse_sampling(args.sampling)
-        if args.sampling
-        else SamplingPolicy.interrupt(workload.sampling_period_us)
-    )
+    try:
+        sampling = (
+            parse_sampling(args.sampling)
+            if args.sampling
+            else SamplingPolicy.interrupt(workload.sampling_period_us)
+        )
+        scheduler = parse_scheduler(args.scheduler, args.threshold)
+    except ValueError as error:
+        parser.error(str(error))
     machine = WOODCREST if args.cores == 4 else serial_machine()
     concurrency = args.concurrency or (8 if args.cores == 4 else 1)
     config = SimConfig(
         machine=machine,
         sampling=sampling,
-        scheduler=parse_scheduler(args.scheduler, args.threshold),
+        scheduler=scheduler,
         num_requests=args.requests,
         concurrency=concurrency,
         seed=args.seed,
@@ -146,6 +222,18 @@ def main(argv=None) -> int:
     ]
     print()
     print(format_table(rows, title=f"first {len(rows)} requests"))
+
+    if args.classify:
+        print()
+        print(
+            classify_requests(
+                result.traces,
+                workload.window_instructions,
+                k=args.classify,
+                seed=args.seed,
+                jobs=args.jobs,
+            )
+        )
 
     if args.export:
         save_traces(result.traces, args.export)

@@ -19,6 +19,7 @@ from repro.core.distances import (
     levenshtein_distance,
     unequal_length_penalty,
 )
+from repro.core.distengine import DistanceCache, DistanceEngine, sequence_key
 from repro.core.dtw import dtw_distance
 from repro.core.identification import Identification, OnlineIdentifier
 from repro.core.prediction import (
@@ -34,6 +35,8 @@ from repro.core.timeseries import MetricSeries
 from repro.core.variation import captured_variation, inter_request_variation
 
 __all__ = [
+    "DistanceCache",
+    "DistanceEngine",
     "Ewma",
     "Identification",
     "KMedoidsResult",
@@ -54,6 +57,7 @@ __all__ = [
     "k_medoids",
     "l1_distance",
     "levenshtein_distance",
+    "sequence_key",
     "silhouette_score",
     "unequal_length_penalty",
 ]

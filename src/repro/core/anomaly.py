@@ -20,6 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.distengine import DistanceEngine, get_default_engine
+
 
 @dataclass(frozen=True)
 class AnomalyCase:
@@ -47,26 +49,32 @@ def detect_by_centroid_distance(
     distance: Callable,
     top_per_group: int = 1,
     min_group_size: int = 4,
+    engine: Optional[DistanceEngine] = None,
+    distance_key: Optional[str] = None,
 ) -> List[AnomalyCase]:
     """Centroid-distance anomaly detection over semantic groups.
 
     ``groups`` maps a group key (e.g. query type) to indices into
     ``sequences``; for every sufficiently large group the members with the
     highest distance to the group centroid are flagged, with the centroid
-    as the reference.
+    as the reference.  The per-group matrices go through the distance
+    ``engine`` (serial by default).
     """
+    if engine is None:
+        engine = get_default_engine()
     cases: List[AnomalyCase] = []
     for key, indices in groups.items():
         indices = list(indices)
         if len(indices) < min_group_size:
             continue
-        n = len(indices)
-        matrix = np.zeros((n, n))
-        for i in range(n):
-            for j in range(i + 1, n):
-                d = float(distance(sequences[indices[i]], sequences[indices[j]]))
-                matrix[i, j] = matrix[j, i] = d
+        matrix = engine.matrix(
+            [sequences[idx] for idx in indices],
+            distance,
+            symmetric=True,
+            distance_key=distance_key,
+        )
         centroid = group_centroid(matrix)
+        n = len(indices)
         order = np.argsort(matrix[centroid])[::-1]
         for rank in range(min(top_per_group, n - 1)):
             member = int(order[rank])
@@ -92,13 +100,17 @@ def detect_multi_metric_pairs(
     ref_similarity_quantile: float = 10.0,
     top_pairs: int = 5,
     candidate_pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    engine: Optional[DistanceEngine] = None,
+    ref_distance_key: Optional[str] = None,
+    cpi_distance_key: Optional[str] = None,
 ) -> List[AnomalyCase]:
     """Multi-metric anomaly search (similar L2-reference streams, different CPI).
 
     Pairs whose L2-references-per-instruction distance falls below the
     ``ref_similarity_quantile`` percentile are considered same-work pairs;
     among them the largest CPI distances are returned.  Within a flagged
-    pair, the request with the higher mean CPI is the anomaly.
+    pair, the request with the higher mean CPI is the anomaly.  Both pair
+    sweeps run through the distance ``engine`` (serial by default).
     """
     n = len(ref_sequences)
     if n != len(cpi_sequences):
@@ -107,18 +119,30 @@ def detect_multi_metric_pairs(
         candidate_pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
     if not candidate_pairs:
         return []
+    if engine is None:
+        engine = get_default_engine()
 
-    ref_d = np.array(
-        [ref_distance(ref_sequences[i], ref_sequences[j]) for i, j in candidate_pairs]
+    candidate_pairs = list(candidate_pairs)
+    ref_d = engine.pair_distances(
+        ref_sequences,
+        candidate_pairs,
+        ref_distance,
+        distance_key=ref_distance_key,
+        symmetric=True,
     )
     threshold = np.percentile(ref_d, ref_similarity_quantile)
     similar = [
         (pair, rd) for pair, rd in zip(candidate_pairs, ref_d) if rd <= threshold
     ]
-    scored = []
-    for (i, j), _ in similar:
-        cd = float(cpi_distance(cpi_sequences[i], cpi_sequences[j]))
-        scored.append(((i, j), cd))
+    similar_pairs = [pair for pair, _ in similar]
+    cpi_d = engine.pair_distances(
+        cpi_sequences,
+        similar_pairs,
+        cpi_distance,
+        distance_key=cpi_distance_key,
+        symmetric=True,
+    )
+    scored = [(pair, float(cd)) for pair, cd in zip(similar_pairs, cpi_d)]
     scored.sort(key=lambda item: item[1], reverse=True)
 
     cases = []

@@ -15,23 +15,30 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.distengine import DistanceEngine, get_default_engine
+
 
 def distance_matrix(
-    items: Sequence, distance: Callable, symmetric: bool = True
+    items: Sequence,
+    distance: Callable,
+    symmetric: bool = True,
+    *,
+    jobs: int = 1,
+    engine: Optional[DistanceEngine] = None,
+    distance_key: Optional[str] = None,
 ) -> np.ndarray:
-    """Dense pairwise distance matrix for ``items``."""
-    n = len(items)
-    matrix = np.zeros((n, n))
-    for i in range(n):
-        start = i + 1 if symmetric else 0
-        for j in range(start, n):
-            if i == j:
-                continue
-            d = float(distance(items[i], items[j]))
-            matrix[i, j] = d
-            if symmetric:
-                matrix[j, i] = d
-    return matrix
+    """Dense pairwise distance matrix for ``items``.
+
+    Computed through the distance engine: ``jobs > 1`` (or an explicit
+    ``engine``) parallelizes the pair evaluations, and an engine with an
+    attached cache memoizes them under ``distance_key``.  All paths return
+    matrices bit-identical to the serial double loop.
+    """
+    if engine is None:
+        engine = get_default_engine() if jobs == 1 else DistanceEngine(jobs=jobs)
+    return engine.matrix(
+        items, distance, symmetric=symmetric, distance_key=distance_key
+    )
 
 
 @dataclass(frozen=True)

@@ -10,6 +10,7 @@ vaEWMA predictors.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -93,6 +94,8 @@ class OnlineQuantile:
             return self._heights[2]
         if not self._initial:
             return None
+        # Nearest-rank (ceil(q*n) as a 1-based rank), matching the
+        # convention the five-marker estimate converges to post-warmup.
         ordered = sorted(self._initial)
-        index = min(len(ordered) - 1, int(self.q * len(ordered)))
-        return ordered[index]
+        index = max(0, math.ceil(self.q * len(ordered)) - 1)
+        return ordered[min(len(ordered) - 1, index)]

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.distances import average_metric_distance, l1_distance
+from repro.core.distengine import DistanceEngine, get_default_engine
 
 
 @dataclass(frozen=True)
@@ -32,13 +33,22 @@ class Signature:
 class SignatureBank:
     """A bank of representative request signatures."""
 
-    def __init__(self, penalty: float, method: str = "variation"):
+    def __init__(
+        self,
+        penalty: float,
+        method: str = "variation",
+        engine: Optional[DistanceEngine] = None,
+    ):
         """``method`` selects the differencing used for identification:
 
         * ``"variation"`` — L1 distance of metric variation patterns
           (the paper's contribution);
         * ``"average"`` — difference of average metric values (the prior
           signature form the paper compares against).
+
+        ``engine`` routes bank matching through a shared distance engine;
+        attaching one with a cache memoizes repeated identifications of
+        the same partial pattern.
         """
         if method not in ("variation", "average"):
             raise ValueError(f"unknown method {method!r}")
@@ -47,6 +57,11 @@ class SignatureBank:
         self._signatures: List[Signature] = []
         self._penalty = penalty
         self._method = method
+        self._engine = engine if engine is not None else get_default_engine()
+        if method == "variation":
+            self._distance_key = f"sigbank-l1:p={penalty!r}"
+        else:
+            self._distance_key = "sigbank-avg"
 
     def __len__(self) -> int:
         return len(self._signatures)
@@ -71,18 +86,16 @@ class SignatureBank:
         partial = np.asarray(partial_values, dtype=float)
         if partial.size == 0:
             raise ValueError("empty partial pattern")
-        best = None
-        best_distance = np.inf
-        for signature in self._signatures:
-            prefix = signature.values[: partial.size]
-            if self._method == "variation":
-                d = l1_distance(partial, prefix, penalty=self._penalty)
-            else:
-                d = average_metric_distance(partial, prefix)
-            if d < best_distance:
-                best_distance = d
-                best = signature
-        return best
+        if self._method == "variation":
+            fn = lambda a, b: l1_distance(a, b, penalty=self._penalty)
+        else:
+            fn = average_metric_distance
+        prefixes = [s.values[: partial.size] for s in self._signatures]
+        distances = self._engine.one_to_many(
+            partial, prefixes, fn, distance_key=self._distance_key
+        )
+        # First minimum — the same tie-breaking as a strict `<` scan.
+        return self._signatures[int(np.argmin(distances))]
 
     def predict_cpu_above(self, partial_values, threshold_us: float) -> bool:
         """Predict whether the request's CPU usage will exceed ``threshold_us``."""

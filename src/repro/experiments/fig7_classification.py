@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.analysis.stats import weighted_percentile
 from repro.core.clustering import distance_matrix, divergence_from_centroid, k_medoids
+from repro.core.distengine import DistanceCache, DistanceEngine, default_cache_path
 from repro.core.distances import (
     average_metric_distance,
     l1_distance,
@@ -58,8 +59,19 @@ def _subsample(seq: List[str], limit: int) -> List[str]:
     return [seq[i] for i in idx]
 
 
-def classification_quality(app: str, scale: float, seed: int, k: int = 10) -> Dict:
-    """Divergence-from-centroid per measure for one application."""
+def classification_quality(
+    app: str,
+    scale: float,
+    seed: int,
+    k: int = 10,
+    engine: DistanceEngine = None,
+) -> Dict:
+    """Divergence-from-centroid per measure for one application.
+
+    All five O(n^2) distance matrices run through ``engine`` (serial by
+    default); the cache keys embed the measure name and its penalty so a
+    cached rerun is hit-for-hit safe.
+    """
     sim = simulate(app, num_requests=scaled(_REQUESTS[app], scale, minimum=24), seed=seed)
     traces = sim.traces
     window = make_workload(app).window_instructions
@@ -81,19 +93,24 @@ def classification_quality(app: str, scale: float, seed: int, k: int = 10) -> Di
     )
 
     distance_fns = {
-        "levenshtein": (syscall_seqs, levenshtein_distance),
-        "avg_cpi": (avg_cpis, average_metric_distance),
-        "l1": (cpi_series, lambda a, b: l1_distance(a, b, penalty=penalty)),
-        "dtw": (cpi_series, lambda a, b: dtw_distance(a, b)),
+        "levenshtein": (syscall_seqs, levenshtein_distance, "levenshtein"),
+        "avg_cpi": (avg_cpis, average_metric_distance, "avg-metric"),
+        "l1": (
+            cpi_series,
+            lambda a, b: l1_distance(a, b, penalty=penalty),
+            f"l1:p={penalty!r}",
+        ),
+        "dtw": (cpi_series, lambda a, b: dtw_distance(a, b), "dtw:p=0"),
         "dtw_penalty": (
             cpi_series,
             lambda a, b: dtw_distance(a, b, asynchrony_penalty=penalty),
+            f"dtw:p={penalty!r}",
         ),
     }
 
     quality = {}
-    for measure, (items, fn) in distance_fns.items():
-        matrix = distance_matrix(items, fn)
+    for measure, (items, fn, key) in distance_fns.items():
+        matrix = distance_matrix(items, fn, engine=engine, distance_key=key)
         clusters = k_medoids(matrix, k=min(k, len(items)), rng=np.random.default_rng(seed))
         quality[measure] = {
             "cpu_time": divergence_from_centroid(cpu_times, clusters),
@@ -102,7 +119,21 @@ def classification_quality(app: str, scale: float, seed: int, k: int = 10) -> Di
     return quality
 
 
-def run(scale: float = 1.0, seed: int = 101) -> ExperimentResult:
+def run(
+    scale: float = 1.0,
+    seed: int = 101,
+    jobs: int = 1,
+    cache_dir: str = None,
+) -> ExperimentResult:
+    """``jobs`` parallelizes the pairwise-distance matrices; ``cache_dir``
+    persists them (e.g. ``results/.cache``) so reruns and k-sweeps skip
+    recomputation.  Results are bit-identical either way."""
+    cache = (
+        DistanceCache(path=default_cache_path(cache_dir))
+        if cache_dir is not None
+        else None
+    )
+    engine = DistanceEngine(jobs=jobs, cache=cache)
     result = ExperimentResult(
         exp_id="fig7",
         title="Classification quality (divergence from centroid, lower = better)",
@@ -112,7 +143,7 @@ def run(scale: float = 1.0, seed: int = 101) -> ExperimentResult:
     wins = 0
     total = 0
     for app in all_apps():
-        quality = classification_quality(app, scale, seed)
+        quality = classification_quality(app, scale, seed, engine=engine)
         for prop in ("cpu_time", "peak_cpi"):
             row = {"app": app}
             for measure in MEASURES:

@@ -5,24 +5,120 @@ Usage::
     repro-experiments --list
     repro-experiments fig1 fig3 --scale 0.5
     repro-experiments all --scale 1.0 --out EXPERIMENTS_RUN.md
+    repro-experiments all --jobs 4 --cache   # parallel ids + distance cache
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import multiprocessing
 import sys
 import time
 
 from repro.experiments.base import EXPERIMENTS, get_experiment
 
 
-def run_experiments(exp_ids, scale: float):
-    """Run experiments by id, yielding (exp_id, result, seconds)."""
-    for exp_id in exp_ids:
-        module = get_experiment(exp_id)
-        start = time.perf_counter()
-        result = module.run(scale=scale)
-        yield exp_id, result, time.perf_counter() - start
+def positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text!r}")
+    return value
+
+
+def positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text!r}")
+    return value
+
+
+def normalize_experiment_ids(requested) -> list:
+    """Expand ``all`` in place and deduplicate, preserving first-seen order.
+
+    ``all`` may be mixed with explicit ids (``repro-experiments all fig1``)
+    and ids may repeat; each experiment runs exactly once.  Unknown ids
+    raise ``ValueError``.
+    """
+    expanded = []
+    for exp_id in requested:
+        if exp_id == "all":
+            expanded.extend(EXPERIMENTS)
+        else:
+            expanded.append(exp_id)
+    unknown = sorted({e for e in expanded if e not in EXPERIMENTS})
+    if unknown:
+        raise ValueError(f"unknown experiment ids: {unknown}")
+    seen = set()
+    ordered = []
+    for exp_id in expanded:
+        if exp_id not in seen:
+            seen.add(exp_id)
+            ordered.append(exp_id)
+    return ordered
+
+
+def _call_run(module, scale: float, jobs: int, cache_dir):
+    """Invoke ``module.run``, passing jobs/cache_dir only where supported."""
+    kwargs = {"scale": scale}
+    parameters = inspect.signature(module.run).parameters
+    if "jobs" in parameters:
+        kwargs["jobs"] = jobs
+    if "cache_dir" in parameters and cache_dir is not None:
+        kwargs["cache_dir"] = cache_dir
+    return module.run(**kwargs)
+
+
+def _run_one(exp_id: str, scale: float, jobs: int, cache_dir):
+    """Worker entry point for experiment-level parallelism."""
+    module = get_experiment(exp_id)
+    start = time.perf_counter()
+    result = _call_run(module, scale, jobs, cache_dir)
+    return result, time.perf_counter() - start
+
+
+def run_experiments(exp_ids, scale: float, jobs: int = 1, cache_dir=None):
+    """Run experiments by id, yielding (exp_id, result, seconds).
+
+    With ``jobs > 1`` and several ids, independent experiments run in
+    worker processes (one experiment each, so inner distance work stays
+    serial); a single experiment instead receives the whole ``jobs``
+    budget for its pairwise-distance matrices.  Yield order always
+    follows ``exp_ids``.
+    """
+    exp_ids = list(exp_ids)
+    parallel = (
+        jobs > 1
+        and len(exp_ids) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if not parallel:
+        for exp_id in exp_ids:
+            module = get_experiment(exp_id)
+            start = time.perf_counter()
+            result = _call_run(module, scale, jobs, cache_dir)
+            yield exp_id, result, time.perf_counter() - start
+        return
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(exp_ids)), mp_context=context
+    ) as pool:
+        futures = [
+            pool.submit(_run_one, exp_id, scale, 1, cache_dir)
+            for exp_id in exp_ids
+        ]
+        for exp_id, future in zip(exp_ids, futures):
+            result, elapsed = future.result()
+            yield exp_id, result, elapsed
 
 
 def main(argv=None) -> int:
@@ -34,13 +130,27 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (fig1..fig13, table1, table2, sec32) or 'all'",
+        help="experiment ids (fig1..fig13, table1, table2, sec32) or 'all' "
+        "(mixable with explicit ids; duplicates run once)",
     )
     parser.add_argument(
         "--scale",
-        type=float,
+        type=positive_float,
         default=1.0,
-        help="request-count scale factor (smaller = faster, default 1.0)",
+        help="request-count scale factor (> 0; smaller = faster, default 1.0)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=1,
+        help="worker processes: parallelizes independent experiment ids, or "
+        "the pairwise-distance matrices of a single experiment (default 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="persist pairwise-distance results under results/.cache/ so "
+        "reruns skip recomputation",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--out", help="also append rendered output to this file")
@@ -51,14 +161,17 @@ def main(argv=None) -> int:
             print(f"{exp_id:8s}  {description}")
         return 0
 
-    exp_ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
-    unknown = [e for e in exp_ids if e not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+    try:
+        exp_ids = normalize_experiment_ids(args.experiments)
+    except ValueError as error:
+        print(error, file=sys.stderr)
         return 2
 
+    cache_dir = "results/.cache" if args.cache else None
     outputs = []
-    for exp_id, result, elapsed in run_experiments(exp_ids, args.scale):
+    for exp_id, result, elapsed in run_experiments(
+        exp_ids, args.scale, jobs=args.jobs, cache_dir=cache_dir
+    ):
         text = result.render()
         print(text)
         print(f"[{exp_id} finished in {elapsed:.1f}s]\n")

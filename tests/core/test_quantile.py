@@ -85,3 +85,54 @@ class TestAccuracy:
         for v in values:
             est.observe(v)
         assert min(values) - 1e-9 <= est.estimate() <= max(values) + 1e-9
+
+
+class TestPreWarmupNearestRank:
+    """Before the five-marker warm-up the estimate is the nearest-rank
+    order statistic (1-based rank ceil(q*n)), matching the post-warmup
+    convention — not the off-by-one int(q*n) index."""
+
+    def test_median_of_two(self):
+        est = OnlineQuantile(q=0.5)
+        est.observe(1.0)
+        est.observe(9.0)
+        # ceil(0.5 * 2) = rank 1 -> the lower value, not the upper.
+        assert est.estimate() == 1.0
+
+    def test_median_of_four(self):
+        est = OnlineQuantile(q=0.5)
+        for v in (4.0, 1.0, 3.0, 2.0):
+            est.observe(v)
+        assert est.estimate() == 2.0
+
+    def test_low_quantile_of_four(self):
+        est = OnlineQuantile(q=0.25)
+        for v in (4.0, 1.0, 3.0, 2.0):
+            est.observe(v)
+        assert est.estimate() == 1.0
+
+    def test_high_quantile_of_four(self):
+        est = OnlineQuantile(q=0.8)
+        for v in (4.0, 1.0, 3.0, 2.0):
+            est.observe(v)
+        # ceil(0.8 * 4) = rank 4.
+        assert est.estimate() == 4.0
+
+    @given(
+        st.lists(
+            st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=4,
+        ),
+        st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_nearest_rank_definition(self, values, q):
+        import math
+
+        est = OnlineQuantile(q=q)
+        for v in values:
+            est.observe(v)
+        ordered = sorted(values)
+        rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+        assert est.estimate() == ordered[rank - 1]

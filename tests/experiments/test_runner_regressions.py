@@ -1,0 +1,98 @@
+"""Regression tests for the repro-experiments runner CLI.
+
+Covers the id-normalization bugs ('all' mixed with explicit ids rejected,
+duplicated ids silently run twice), --scale validation, and the --jobs
+experiment-level parallelism.
+"""
+
+import pytest
+
+from repro.experiments.base import EXPERIMENTS
+from repro.experiments.runner import (
+    main,
+    normalize_experiment_ids,
+    run_experiments,
+)
+
+
+class TestNormalizeIds:
+    def test_all_expands_in_place(self):
+        assert normalize_experiment_ids(["all"]) == list(EXPERIMENTS)
+
+    def test_all_mixed_with_explicit_ids(self):
+        # 'all' already contains fig1; the mix must not be rejected and
+        # fig1 must not run twice.
+        assert normalize_experiment_ids(["all", "fig1"]) == list(EXPERIMENTS)
+
+    def test_explicit_id_before_all_keeps_first_position(self):
+        ids = normalize_experiment_ids(["fig6", "all"])
+        assert ids[0] == "fig6"
+        assert sorted(ids) == sorted(EXPERIMENTS)
+        assert len(ids) == len(EXPERIMENTS)
+
+    def test_duplicates_run_once_order_preserved(self):
+        assert normalize_experiment_ids(["fig3", "fig1", "fig3", "fig1"]) == [
+            "fig3",
+            "fig1",
+        ]
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment ids"):
+            normalize_experiment_ids(["fig1", "nope"])
+
+
+class TestMainArguments:
+    def test_mixed_all_runs_each_once(self, capsys, monkeypatch):
+        # Stub the registry down to one cheap experiment so main() is fast.
+        ran = []
+
+        class FakeModule:
+            @staticmethod
+            def run(scale):
+                ran.append(scale)
+                from repro.experiments.base import ExperimentResult
+
+                return ExperimentResult(exp_id="fig6", title="t", notes=["n"])
+
+        monkeypatch.setattr(
+            "repro.experiments.runner.get_experiment", lambda exp_id: FakeModule
+        )
+        assert main(["fig6", "fig6", "--scale", "0.1"]) == 0
+        assert len(ran) == 1
+        assert capsys.readouterr().out.count("[fig6 finished") == 1
+
+    def test_unknown_id_exit_code(self, capsys):
+        assert main(["all", "nope"]) == 2
+        assert "unknown experiment ids" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("scale", ["0", "-1", "-0.5"])
+    def test_rejects_non_positive_scale(self, scale, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig6", "--scale", scale])
+        assert excinfo.value.code == 2
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_rejects_non_positive_jobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig6", "--jobs", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestParallelRunner:
+    def test_parallel_results_match_serial(self):
+        ids = ["fig6", "fig4"]
+        serial = [
+            (exp_id, result.render())
+            for exp_id, result, _ in run_experiments(ids, scale=0.1)
+        ]
+        parallel = [
+            (exp_id, result.render())
+            for exp_id, result, _ in run_experiments(ids, scale=0.1, jobs=2)
+        ]
+        assert parallel == serial
+
+    def test_parallel_preserves_requested_order(self):
+        ids = ["fig4", "fig6"]
+        seen = [exp_id for exp_id, _, _ in run_experiments(ids, scale=0.1, jobs=2)]
+        assert seen == ids

@@ -78,3 +78,49 @@ class TestMain:
         from repro.kernel.trace_io import load_traces
 
         assert len(load_traces(str(out_file))) == 4
+
+    def test_classify_prints_cluster_table(self, capsys):
+        assert main(
+            ["tpcc", "--requests", "8", "--seed", "2", "--classify", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "k-medoids clusters (k=3)" in out
+        assert "medoid" in out
+
+    def test_classify_jobs_output_identical(self, capsys):
+        argv = ["tpcc", "--requests", "8", "--seed", "2", "--classify", "3"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+
+class TestArgumentValidation:
+    """Malformed specs exit with an argparse error, not a raw traceback."""
+
+    @pytest.mark.parametrize(
+        "spec", ["interrupt:abc", "syscall:8", "syscall:8,abc", "magic:1"]
+    )
+    def test_malformed_sampling_is_argparse_error(self, spec, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tpcc", "--sampling", spec])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("requests", ["0", "-3"])
+    def test_rejects_non_positive_requests(self, requests, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tpcc", "--requests", requests])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_rejects_non_positive_classify_and_jobs(self, capsys):
+        for argv in (
+            ["tpcc", "--classify", "0"],
+            ["tpcc", "--jobs", "0"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
