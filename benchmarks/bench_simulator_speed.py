@@ -16,12 +16,13 @@ from repro.kernel.simulator import ServerSimulator, SimConfig
 from repro.workloads.registry import make_workload
 
 
-def run_webserver():
+def run_webserver(collector=None):
     config = SimConfig(
         sampling=SamplingPolicy.interrupt(10.0),
         num_requests=50,
         concurrency=8,
         seed=1,
+        collector=collector,
     )
     return ServerSimulator(make_workload("webserver"), config).run()
 
@@ -33,8 +34,22 @@ def test_engine_throughput(benchmark):
     samples = result.sampler_stats.total_samples
     assert samples > 500
     # The engine must stay fast enough for the full harness: 50 web
-    # requests at 10us sampling well under a second.
+    # requests at 10us sampling well under a second.  The default config
+    # has tracing disabled — this bench also pins the no-op fast path.
     assert benchmark.stats.stats.mean < 1.0
+
+
+def test_engine_throughput_with_tracing(benchmark):
+    from repro.obs.trace import TraceCollector
+
+    def run_traced():
+        return run_webserver(collector=TraceCollector())
+
+    result = benchmark.pedantic(run_traced, rounds=3, iterations=1)
+    assert len(result.traces) == 50
+    # Event emission is append-only bookkeeping; even fully enabled it
+    # must stay within the same order of magnitude as the plain run.
+    assert benchmark.stats.stats.mean < 2.0
 
 
 def test_dtw_speed(benchmark):

@@ -39,6 +39,37 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_metrics(snapshot: Dict, title: str = "metrics") -> str:
+    """Render a :class:`repro.obs.metrics.MetricsRegistry` snapshot.
+
+    Counters and gauges become one two-column table; histograms one row
+    per distribution with their summary statistics.
+    """
+    parts = []
+    scalar_rows = [
+        {"metric": name, "value": value}
+        for section in ("counters", "gauges")
+        for name, value in snapshot.get(section, {}).items()
+    ]
+    if scalar_rows:
+        parts.append(format_table(scalar_rows, title=title))
+    histogram_rows = [
+        {"histogram": name, **summary}
+        for name, summary in snapshot.get("histograms", {}).items()
+    ]
+    if histogram_rows:
+        parts.append(
+            format_table(
+                histogram_rows,
+                columns=["histogram", "count", "mean", "p50", "p80", "p95", "max"],
+                title=f"{title}: distributions",
+            )
+        )
+    if not parts:
+        return f"{title}\n(no metrics)"
+    return "\n\n".join(parts)
+
+
 def format_series_plot(
     series: Dict[str, Sequence[float]],
     width: int = 64,

@@ -6,6 +6,7 @@ Usage examples::
     repro-simulate webserver --sampling syscall:8,60 --export traces.json
     repro-simulate tpch --scheduler contention --requests 40 --summary-metric cpi
     repro-simulate tpcc --requests 80 --classify 4 --jobs 4
+    repro-simulate tpcc --trace events.jsonl --metrics-out metrics.json
 """
 
 from __future__ import annotations
@@ -26,6 +27,9 @@ from repro.kernel.sampling import SamplingMode, SamplingPolicy
 from repro.kernel.scheduler import RoundRobinScheduler
 from repro.kernel.simulator import ServerSimulator, SimConfig
 from repro.kernel.trace_io import save_traces
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import StageProfiler, activated
+from repro.obs.trace import TraceCollector, save_events
 from repro.workloads.registry import SERVER_APPS, available_workloads, make_workload
 
 
@@ -104,7 +108,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=0.01,
         help="contention scheduler warm-up high-usage threshold (miss/ins)",
     )
-    parser.add_argument("--export", help="write traces to this JSON file")
+    parser.add_argument(
+        "--export",
+        help="write traces to this file (.jsonl = line-oriented stream, "
+        "otherwise a JSON document)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record structured observability events (admission, scheduling, "
+        "phase transitions, samples, syscalls) and export them as JSONL",
+    )
+    parser.add_argument(
+        "--trace-capacity", type=positive_int, default=1_000_000,
+        help="event ring-buffer capacity for --trace (oldest events drop "
+        "beyond this, default 1000000)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a metrics snapshot (counters/gauges/histograms plus "
+        "stage timings) to this JSON file",
+    )
     parser.add_argument(
         "--top", type=int, default=5, help="how many requests to print"
     )
@@ -167,27 +192,31 @@ def main(argv=None) -> int:
         )
         return 2
 
-    workload = make_workload(args.workload)
-    try:
-        sampling = (
-            parse_sampling(args.sampling)
-            if args.sampling
-            else SamplingPolicy.interrupt(workload.sampling_period_us)
+    profiler = StageProfiler()
+    collector = TraceCollector(capacity=args.trace_capacity) if args.trace else None
+    with activated(profiler):
+        workload = make_workload(args.workload)
+        try:
+            sampling = (
+                parse_sampling(args.sampling)
+                if args.sampling
+                else SamplingPolicy.interrupt(workload.sampling_period_us)
+            )
+            scheduler = parse_scheduler(args.scheduler, args.threshold)
+        except ValueError as error:
+            parser.error(str(error))
+        machine = WOODCREST if args.cores == 4 else serial_machine()
+        concurrency = args.concurrency or (8 if args.cores == 4 else 1)
+        config = SimConfig(
+            machine=machine,
+            sampling=sampling,
+            scheduler=scheduler,
+            num_requests=args.requests,
+            concurrency=concurrency,
+            seed=args.seed,
+            collector=collector,
         )
-        scheduler = parse_scheduler(args.scheduler, args.threshold)
-    except ValueError as error:
-        parser.error(str(error))
-    machine = WOODCREST if args.cores == 4 else serial_machine()
-    concurrency = args.concurrency or (8 if args.cores == 4 else 1)
-    config = SimConfig(
-        machine=machine,
-        sampling=sampling,
-        scheduler=scheduler,
-        num_requests=args.requests,
-        concurrency=concurrency,
-        seed=args.seed,
-    )
-    result = ServerSimulator(workload, config).run()
+        result = ServerSimulator(workload, config).run()
 
     cpis = result.request_cpis()
     cpu_times = np.array([t.cpu_time_us() for t in result.traces])
@@ -225,19 +254,38 @@ def main(argv=None) -> int:
 
     if args.classify:
         print()
-        print(
-            classify_requests(
+        with activated(profiler):
+            summary = classify_requests(
                 result.traces,
                 workload.window_instructions,
                 k=args.classify,
                 seed=args.seed,
                 jobs=args.jobs,
             )
-        )
+        print(summary)
 
     if args.export:
         save_traces(result.traces, args.export)
         print(f"\ntraces written to {args.export}")
+    if args.trace:
+        save_events(collector, args.trace)
+        print(
+            f"\n{len(collector)} observability events written to {args.trace} "
+            f"({collector.dropped} dropped)"
+        )
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        result.register_metrics(registry)
+        extra = {
+            "workload": args.workload,
+            "seed": args.seed,
+            "stages": profiler.snapshot(),
+        }
+        if collector is not None:
+            extra["trace_events"] = len(collector)
+            extra["trace_dropped"] = collector.dropped
+        registry.write_json(args.metrics_out, extra=extra)
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 

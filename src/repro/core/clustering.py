@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.distengine import DistanceEngine, get_default_engine
+from repro.obs.profiling import profiled_stage
 
 
 def distance_matrix(
@@ -80,6 +81,16 @@ def k_medoids(
     max_iterations: int = 50,
 ) -> KMedoidsResult:
     """Cluster by iterative medoid refinement over a distance matrix."""
+    with profiled_stage("cluster"):
+        return _k_medoids(matrix, k, rng, max_iterations)
+
+
+def _k_medoids(
+    matrix: np.ndarray,
+    k: int,
+    rng: Optional[np.random.Generator],
+    max_iterations: int,
+) -> KMedoidsResult:
     matrix = np.asarray(matrix, dtype=float)
     n = matrix.shape[0]
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:

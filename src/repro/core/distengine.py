@@ -38,6 +38,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.profiling import profiled_stage
+
 __all__ = [
     "DistanceCache",
     "DistanceEngine",
@@ -278,6 +280,20 @@ class DistanceEngine:
     # -- internals -----------------------------------------------------
 
     def _pair_values(
+        self,
+        items_a: Sequence,
+        items_b: Sequence,
+        pairs: List[Tuple[int, int]],
+        distance: Callable,
+        distance_key: Optional[str],
+        ordered: bool,
+    ) -> List[float]:
+        with profiled_stage("distance"):
+            return self._pair_values_inner(
+                items_a, items_b, pairs, distance, distance_key, ordered
+            )
+
+    def _pair_values_inner(
         self,
         items_a: Sequence,
         items_b: Sequence,

@@ -20,6 +20,12 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     #: Extra named row groups for multi-panel figures.
     panels: Dict[str, List[Dict]] = field(default_factory=dict)
+    #: Wall-clock stage profile attached by the runner under ``--profile``:
+    #: stage name -> {"seconds": ..., "calls": ...}.  Deliberately NOT part
+    #: of :meth:`render` — rendered output must stay a pure function of the
+    #: experiment's results so determinism tests can compare serial and
+    #: parallel runs textually.
+    stage_seconds: Dict[str, Dict] = field(default_factory=dict)
 
     def render(self) -> str:
         parts = [f"== {self.exp_id}: {self.title} =="]

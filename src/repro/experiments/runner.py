@@ -6,17 +6,20 @@ Usage::
     repro-experiments fig1 fig3 --scale 0.5
     repro-experiments all --scale 1.0 --out EXPERIMENTS_RUN.md
     repro-experiments all --jobs 4 --cache   # parallel ids + distance cache
+    repro-experiments fig7 --profile --metrics-out fig7-metrics.json
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import multiprocessing
 import sys
 import time
 
 from repro.experiments.base import EXPERIMENTS, get_experiment
+from repro.obs.profiling import StageProfiler, activated
 
 
 def positive_float(text: str) -> float:
@@ -64,33 +67,48 @@ def normalize_experiment_ids(requested) -> list:
     return ordered
 
 
-def _call_run(module, scale: float, jobs: int, cache_dir):
-    """Invoke ``module.run``, passing jobs/cache_dir only where supported."""
+def _call_run(module, scale: float, jobs: int, cache_dir, profile: bool = False):
+    """Invoke ``module.run``, passing jobs/cache_dir only where supported.
+
+    With ``profile`` a fresh :class:`StageProfiler` captures the pipeline
+    stages (generate → simulate → distance → cluster) and its snapshot is
+    attached to the result as ``stage_seconds``.
+    """
     kwargs = {"scale": scale}
     parameters = inspect.signature(module.run).parameters
     if "jobs" in parameters:
         kwargs["jobs"] = jobs
     if "cache_dir" in parameters and cache_dir is not None:
         kwargs["cache_dir"] = cache_dir
-    return module.run(**kwargs)
+    if not profile:
+        return module.run(**kwargs)
+    profiler = StageProfiler()
+    with activated(profiler):
+        result = module.run(**kwargs)
+    if hasattr(result, "stage_seconds"):
+        result.stage_seconds = profiler.snapshot()
+    return result
 
 
-def _run_one(exp_id: str, scale: float, jobs: int, cache_dir):
+def _run_one(exp_id: str, scale: float, jobs: int, cache_dir, profile: bool):
     """Worker entry point for experiment-level parallelism."""
     module = get_experiment(exp_id)
     start = time.perf_counter()
-    result = _call_run(module, scale, jobs, cache_dir)
+    result = _call_run(module, scale, jobs, cache_dir, profile)
     return result, time.perf_counter() - start
 
 
-def run_experiments(exp_ids, scale: float, jobs: int = 1, cache_dir=None):
+def run_experiments(exp_ids, scale: float, jobs: int = 1, cache_dir=None,
+                    profile: bool = False):
     """Run experiments by id, yielding (exp_id, result, seconds).
 
     With ``jobs > 1`` and several ids, independent experiments run in
     worker processes (one experiment each, so inner distance work stays
     serial); a single experiment instead receives the whole ``jobs``
     budget for its pairwise-distance matrices.  Yield order always
-    follows ``exp_ids``.
+    follows ``exp_ids``.  ``profile`` attaches per-stage wall-clock
+    timings to each result (captured inside the worker for parallel runs,
+    so timings stay per-experiment).
     """
     exp_ids = list(exp_ids)
     parallel = (
@@ -102,7 +120,7 @@ def run_experiments(exp_ids, scale: float, jobs: int = 1, cache_dir=None):
         for exp_id in exp_ids:
             module = get_experiment(exp_id)
             start = time.perf_counter()
-            result = _call_run(module, scale, jobs, cache_dir)
+            result = _call_run(module, scale, jobs, cache_dir, profile)
             yield exp_id, result, time.perf_counter() - start
         return
 
@@ -113,12 +131,27 @@ def run_experiments(exp_ids, scale: float, jobs: int = 1, cache_dir=None):
         max_workers=min(jobs, len(exp_ids)), mp_context=context
     ) as pool:
         futures = [
-            pool.submit(_run_one, exp_id, scale, 1, cache_dir)
+            pool.submit(_run_one, exp_id, scale, 1, cache_dir, profile)
             for exp_id in exp_ids
         ]
         for exp_id, future in zip(exp_ids, futures):
             result, elapsed = future.result()
             yield exp_id, result, elapsed
+
+
+def _format_profile(exp_id: str, stage_seconds: dict) -> str:
+    """Render a ``--profile`` stage table for one experiment."""
+    from repro.analysis.report import format_table
+
+    rows = [
+        {
+            "stage": name,
+            "calls": entry["calls"],
+            "seconds": round(entry["seconds"], 3),
+        }
+        for name, entry in stage_seconds.items()
+    ]
+    return format_table(rows, title=f"-- {exp_id} stage profile --")
 
 
 def main(argv=None) -> int:
@@ -154,6 +187,16 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--out", help="also append rendered output to this file")
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="time each pipeline stage (generate/simulate/distance/cluster) "
+        "per experiment and print a profile table",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        help="write per-experiment timing/profile metrics to this JSON file",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -168,17 +211,29 @@ def main(argv=None) -> int:
         return 2
 
     cache_dir = "results/.cache" if args.cache else None
+    profile = args.profile or bool(args.metrics_out)
     outputs = []
+    metrics = {}
     for exp_id, result, elapsed in run_experiments(
-        exp_ids, args.scale, jobs=args.jobs, cache_dir=cache_dir
+        exp_ids, args.scale, jobs=args.jobs, cache_dir=cache_dir, profile=profile
     ):
         text = result.render()
         print(text)
+        if args.profile and result.stage_seconds:
+            print(_format_profile(exp_id, result.stage_seconds))
         print(f"[{exp_id} finished in {elapsed:.1f}s]\n")
         outputs.append(text + f"\n[{elapsed:.1f}s]\n")
+        metrics[exp_id] = {
+            "seconds": elapsed,
+            "stages": result.stage_seconds,
+        }
     if args.out:
         with open(args.out, "a") as fh:
             fh.write("\n\n".join(outputs) + "\n")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            json.dump(metrics, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return 0
 
 

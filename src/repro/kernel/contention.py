@@ -74,10 +74,25 @@ class ContentionEasingScheduler(SchedulerPolicy):
             task.predictor_state["mpi"] = predictor
         return predictor
 
+    def describe(self) -> dict:
+        description = super().describe()
+        description.update(
+            adaptive_threshold=self.adaptive_threshold,
+            high_usage_threshold=self.high_usage_threshold,
+            threshold_percentile=self.threshold_percentile,
+            alpha=self.alpha,
+        )
+        return description
+
     def current_threshold(self) -> float:
         """The high/low usage threshold currently in force."""
         if self.adaptive_threshold and self._quantile.count >= self.adaptive_warmup:
-            return self._quantile.estimate()
+            estimate = self._quantile.estimate()
+            # An empty estimator (warm-up of zero before any sample) has no
+            # estimate yet; fall back to the configured warm-up threshold
+            # instead of returning None into a float comparison.
+            if estimate is not None:
+                return estimate
         return self.high_usage_threshold
 
     def on_sample(self, task, instructions, l2_misses, cycles):

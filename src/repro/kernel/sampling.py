@@ -128,6 +128,18 @@ class SamplerStats:
             + self.context_switch_samples
         )
 
+    def as_dict(self) -> dict:
+        return {
+            "in_kernel_samples": self.in_kernel_samples,
+            "interrupt_samples": self.interrupt_samples,
+            "context_switch_samples": self.context_switch_samples,
+        }
+
+    def register_metrics(self, registry) -> None:
+        """Surface the sample tallies as counters in a metrics registry."""
+        for name, value in self.as_dict().items():
+            registry.counter(name).inc(value)
+
     def overhead_cycles(self, cost_model: SamplingCostModel) -> float:
         """Policy-added overhead using the measured minimum per-sample cost.
 

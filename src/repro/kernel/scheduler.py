@@ -25,6 +25,19 @@ class SchedulerPolicy:
     #: Adaptive rescheduling interval (None = only quantum expiries).
     resched_interval_us: Optional[float] = None
 
+    def describe(self) -> dict:
+        """Identity + parameters of the policy, for trace/metric metadata.
+
+        Values must be JSON-serializable and deterministic for a given
+        configuration (run_start events carry them, and determinism tests
+        hash the exported stream).
+        """
+        return {
+            "policy": type(self).__name__,
+            "quantum_us": self.quantum_us,
+            "resched_interval_us": self.resched_interval_us,
+        }
+
     def on_sample(
         self, task: Task, instructions: float, l2_misses: float, cycles: float
     ) -> None:

@@ -28,6 +28,8 @@ from repro.kernel.scheduler import RoundRobinScheduler, SchedulerPolicy
 from repro.kernel.syscalls import next_rate_syscall_cycles
 from repro.kernel.task import Task, TaskState
 from repro.kernel.tracker import PeriodRecord, RequestTracker
+from repro.obs.profiling import profiled_stage
+from repro.obs.trace import NULL_COLLECTOR, TraceCollector
 from repro.workloads.base import WorkloadGenerator
 
 _INF = float("inf")
@@ -70,6 +72,11 @@ class SimConfig:
     #: then only the initial in-flight cap and no longer throttles
     #: admissions).  Useful for latency-vs-load studies.
     arrival_rate_per_s: Optional[float] = None
+    #: Request-scoped trace collector (None disables tracing; the disabled
+    #: fast path is a single attribute check per instrumentation point).
+    #: Emission never touches the simulation RNG or any simulated state,
+    #: so enabling tracing cannot perturb results.
+    collector: Optional[TraceCollector] = None
 
 
 @dataclass
@@ -100,6 +107,31 @@ class SimResult:
 
     def request_cpis(self) -> np.ndarray:
         return np.array([t.overall_cpi() for t in self.traces])
+
+    def register_metrics(self, registry) -> None:
+        """Fill a :class:`repro.obs.metrics.MetricsRegistry` from this run.
+
+        Counters cover requests and sampling/scheduling activity, gauges
+        the run extent, and period-weighted histograms the per-request and
+        per-period CPI distributions (the numbers the reports print).
+        """
+        registry.counter("requests_completed").inc(len(self.traces))
+        self.sampler_stats.register_metrics(registry)
+        for key, value in sorted(getattr(self.scheduler, "stats", {}).items()):
+            registry.counter(f"sched_{key}").inc(int(value))
+        registry.gauge("wall_cycles").set(self.wall_cycles)
+        registry.gauge("busy_cycles").set(float(self.busy_cycles_per_core.sum()))
+        request_cpi = registry.histogram("request_cpi")
+        request_cpu = registry.histogram("request_cpu_us")
+        period_cpi = registry.histogram("period_cpi")
+        for trace in self.traces:
+            request_cpi.observe(
+                trace.overall_cpi(), weight=trace.total_instructions
+            )
+            request_cpu.observe(trace.cpu_time_us())
+            values, weights = trace.period_values("cpi")
+            for value, weight in zip(values, weights):
+                period_cpi.observe(float(value), weight=float(weight))
 
 
 class _CoreRun:
@@ -151,10 +183,12 @@ class ServerSimulator:
         self.policy = config.sampling
         self.scheduler = config.scheduler or RoundRobinScheduler()
         self.rng = np.random.default_rng(config.seed)
+        self.obs = config.collector if config.collector is not None else NULL_COLLECTOR
         self.tracker = RequestTracker(
             cost_model=config.cost_model,
             frequency_ghz=self.machine.frequency_ghz,
             compensate=config.compensate,
+            collector=self.obs,
         )
         self.stats = SamplerStats()
         self.now = 0.0
@@ -198,6 +232,21 @@ class ServerSimulator:
     # ------------------------------------------------------------------ API
 
     def run(self) -> SimResult:
+        with profiled_stage("simulate"):
+            return self._run()
+
+    def _run(self) -> SimResult:
+        if self.obs.enabled:
+            self.obs.emit(
+                "run_start",
+                self.now,
+                workload=self.workload.name,
+                scheduler=self.scheduler.describe(),
+                sampling=self.policy.mode.value,
+                seed=self.config.seed,
+                num_requests=self.config.num_requests,
+                concurrency=self.config.concurrency,
+            )
         if self.config.arrival_rate_per_s:
             # Open loop: pre-draw the whole Poisson arrival schedule.
             gap_cycles = (
@@ -229,6 +278,13 @@ class ServerSimulator:
             handler = getattr(self, f"_on_{kind}")
             handler(core_id)
 
+        if self.obs.enabled:
+            self.obs.emit(
+                "run_end",
+                self.now,
+                completed=self._completed,
+                total_samples=self.stats.total_samples,
+            )
         return SimResult(
             workload_name=self.workload.name,
             config=self.config,
@@ -299,6 +355,17 @@ class ServerSimulator:
                 ):
                     self._sample(core, SamplingContext.IN_KERNEL)
             task.enter_next_phase()
+            if self.obs.enabled:
+                self.obs.emit(
+                    "phase_transition",
+                    self.now,
+                    request_id=task.request_id,
+                    task_id=task.task_id,
+                    core=core_id,
+                    stage=task.stage_index,
+                    phase=task.phase_index,
+                    entry_syscall=name,
+                )
             self._recompute_rates()
             return
 
@@ -328,6 +395,16 @@ class ServerSimulator:
             core.next_resched = self.now + self._resched_cycles
             return
         incoming = self.runqueues[core_id].pop(idx)
+        if self.obs.enabled:
+            self.obs.emit(
+                "sched_preempt",
+                self.now,
+                request_id=incoming.request_id,
+                task_id=incoming.task_id,
+                core=core_id,
+                preempted_request_id=current.request_id,
+                preempted_task_id=current.task_id,
+            )
         self._switch_out(core, SamplingContext.IN_KERNEL)
         # Keep the preempted request at the head so it resumes first.
         self.runqueues[core_id].insert(0, current)
@@ -352,6 +429,14 @@ class ServerSimulator:
         spec = self.workload.sample_request(self.rng, self._admitted)
         self._admitted += 1
         self.tracker.start_request(spec, self.now)
+        if self.obs.enabled:
+            self.obs.emit(
+                "request_admitted",
+                self.now,
+                request_id=spec.request_id,
+                app=spec.app,
+                request_kind=spec.kind,
+            )
         self._enqueue_stage(spec, stage_index=0)
 
     def _on_arrival(self, core_id: int) -> None:
@@ -386,6 +471,16 @@ class ServerSimulator:
             enqueue_cycle=self.now,
         )
         self._next_task_id += 1
+        if self.obs.enabled:
+            self.obs.emit(
+                "task_enqueued",
+                self.now,
+                request_id=spec.request_id,
+                task_id=task.task_id,
+                core=core_id,
+                stage=stage_index,
+                tier=tier,
+            )
         self.runqueues[core_id].append(task)
         if self.cores[core_id].task is None:
             self._dispatch(core_id)
@@ -414,6 +509,17 @@ class ServerSimulator:
         next_stage = task.stage_index + 1
         source = self.machine.bus_domain_of(core.state.core_id)
         target = self._machine_of_tier(task.request.stages[next_stage].tier)
+        if self.obs.enabled:
+            self.obs.emit(
+                "stage_handoff",
+                self.now,
+                request_id=task.request_id,
+                task_id=task.task_id,
+                core=core.state.core_id,
+                next_stage=next_stage,
+                target_machine=target,
+                cross_machine=target != source,
+            )
         if target != source:
             self._defer_stage(
                 task.request, next_stage, self.now + self._network_delay_cycles
@@ -427,6 +533,15 @@ class ServerSimulator:
         trace = self.tracker.finish_request(task.request_id, self.now)
         self.traces.append(trace)
         self._completed += 1
+        if self.obs.enabled:
+            self.obs.emit(
+                "request_completed",
+                self.now,
+                request_id=task.request_id,
+                task_id=task.task_id,
+                core=core.state.core_id,
+                periods=trace.num_periods,
+            )
         if (
             self.config.arrival_rate_per_s is None
             and self._admitted < self.config.num_requests
@@ -445,6 +560,16 @@ class ServerSimulator:
             self._clear_core(core)
             return
         task = self.runqueues[core_id].pop(idx)
+        if idx != 0 and self.obs.enabled:
+            # A non-head pick is a contention-easing avoidance decision.
+            self.obs.emit(
+                "sched_avoidance",
+                self.now,
+                request_id=task.request_id,
+                task_id=task.task_id,
+                core=core_id,
+                queue_index=idx,
+            )
         self._switch_in(core, task)
 
     def _clear_core(self, core: _CoreRun) -> None:
@@ -456,6 +581,16 @@ class ServerSimulator:
         core.next_ratecall = _INF
 
     def _switch_in(self, core: _CoreRun, task: Task) -> None:
+        if self.obs.enabled:
+            self.obs.emit(
+                "task_dispatched",
+                self.now,
+                request_id=task.request_id,
+                task_id=task.task_id,
+                core=core.state.core_id,
+                stage=task.stage_index,
+                phase=task.phase_index,
+            )
         task.state = TaskState.RUNNING
         core.task = task
         core.period_start = self.now
@@ -523,6 +658,15 @@ class ServerSimulator:
         task = core.task
         if task is None:
             raise RuntimeError("switch_out on idle core")
+        if self.obs.enabled:
+            self.obs.emit(
+                "task_switched_out",
+                self.now,
+                request_id=task.request_id,
+                task_id=task.task_id,
+                core=core.state.core_id,
+                context=context.value if context is not None else None,
+            )
         self._flush_period(core, context)
         task.state = TaskState.READY
         core.task = None
@@ -556,6 +700,15 @@ class ServerSimulator:
     def _sample(self, core: _CoreRun, context: SamplingContext) -> None:
         """Take one counter sample on a busy core (non-mandatory)."""
         task = core.task
+        if self.obs.enabled:
+            self.obs.emit(
+                "sample",
+                self.now,
+                request_id=task.request_id,
+                task_id=task.task_id,
+                core=core.state.core_id,
+                context=context.value,
+            )
         self._flush_period(core, context)
         self.stats.record(context, mandatory=False)
         cost = self.config.cost_model.cost(

@@ -1,9 +1,17 @@
-"""JSON export/import of request traces.
+"""JSON / JSONL export and import of request traces.
 
 Captured request timelines are the interface between the online OS
 tracking and offline modeling; persisting them lets analyses run on
 recorded workloads (the paper's offline case studies) without re-running
-the server.  The format is a plain JSON document, one object per request.
+the server.  Two encodings of the same per-request record:
+
+* a plain JSON document holding every trace (the original format);
+* JSONL — a header line followed by one trace object per line, written
+  canonically (sorted keys, no whitespace) so identical runs export
+  byte-identical files.  Streams and diffs better at fig12 scale, and
+  matches the ``repro.obs`` event-export convention.
+
+``save_traces``/``load_traces`` dispatch on a ``.jsonl`` path suffix.
 """
 
 from __future__ import annotations
@@ -30,7 +38,9 @@ def trace_to_dict(trace: RequestTrace) -> dict:
         "arrival_cycle": trace.arrival_cycle,
         "completion_cycle": trace.completion_cycle,
         "frequency_ghz": trace.frequency_ghz,
-        "total_spec_instructions": spec.total_instructions,
+        # Coerced to int so export -> import -> re-export is byte-stable
+        # (the reconstructed spec stores integral phase instructions).
+        "total_spec_instructions": int(round(spec.total_instructions)),
         "periods": {
             "start": trace.start.tolist(),
             "end": trace.end.tolist(),
@@ -101,7 +111,10 @@ def trace_from_dict(data: dict) -> RequestTrace:
 
 
 def save_traces(traces: List[RequestTrace], path: str) -> None:
-    """Write traces to a JSON file."""
+    """Write traces to ``path`` (JSONL when it ends in ``.jsonl``)."""
+    if path.endswith(".jsonl"):
+        save_traces_jsonl(traces, path)
+        return
     document = {
         "format": "repro-request-traces",
         "version": FORMAT_VERSION,
@@ -112,7 +125,9 @@ def save_traces(traces: List[RequestTrace], path: str) -> None:
 
 
 def load_traces(path: str) -> List[RequestTrace]:
-    """Read traces back from a JSON file."""
+    """Read traces back from a JSON (or ``.jsonl``) file."""
+    if path.endswith(".jsonl"):
+        return load_traces_jsonl(path)
     with open(path) as fh:
         document = json.load(fh)
     if document.get("format") != "repro-request-traces":
@@ -122,3 +137,74 @@ def load_traces(path: str) -> List[RequestTrace]:
             f"{path}: unsupported version {document.get('version')}"
         )
     return [trace_from_dict(d) for d in document["traces"]]
+
+
+def traces_to_jsonl(traces: List[RequestTrace]) -> str:
+    """Canonical JSONL text: header line, then one trace per line.
+
+    Canonical serialization (sorted keys, compact separators) makes the
+    export a pure function of the trace contents — the property the
+    determinism golden tests hash-compare.
+    """
+    lines = [
+        json.dumps(
+            {
+                "format": "repro-request-traces",
+                "version": FORMAT_VERSION,
+                "traces": len(traces),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    ]
+    lines.extend(
+        json.dumps(trace_to_dict(t), sort_keys=True, separators=(",", ":"))
+        for t in traces
+    )
+    return "\n".join(lines) + "\n"
+
+
+def parse_traces_jsonl(text: str) -> List[RequestTrace]:
+    """Parse JSONL text produced by :func:`traces_to_jsonl`.
+
+    Raises :class:`ValueError` (with the offending line number) on a
+    foreign header, unsupported version, malformed lines, or a count
+    mismatch.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty trace stream")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        raise ValueError(f"malformed trace header: {error}") from None
+    if not isinstance(header, dict) or header.get("format") != "repro-request-traces":
+        raise ValueError("not a repro trace stream")
+    if header.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {header.get('version')}")
+    traces = []
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"line {number}: malformed trace: {error}") from None
+        try:
+            traces.append(trace_from_dict(payload))
+        except (ValueError, KeyError, TypeError) as error:
+            raise ValueError(f"line {number}: {error}") from None
+    declared = header.get("traces")
+    if declared is not None and declared != len(traces):
+        raise ValueError(
+            f"header declares {declared} traces, stream has {len(traces)}"
+        )
+    return traces
+
+
+def save_traces_jsonl(traces: List[RequestTrace], path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(traces_to_jsonl(traces))
+
+
+def load_traces_jsonl(path: str) -> List[RequestTrace]:
+    with open(path) as fh:
+        return parse_traces_jsonl(fh.read())

@@ -249,10 +249,14 @@ class RequestTracker:
         cost_model: Optional[SamplingCostModel],
         frequency_ghz: float,
         compensate: bool = True,
+        collector=None,
     ):
+        from repro.obs.trace import NULL_COLLECTOR
+
         self._cost_model = cost_model if compensate else None
         self._frequency_ghz = frequency_ghz
         self._open: Dict[int, _OpenRequest] = {}
+        self._obs = collector if collector is not None else NULL_COLLECTOR
 
     def start_request(self, spec: RequestSpec, arrival_cycle: float) -> None:
         if spec.request_id in self._open:
@@ -261,6 +265,8 @@ class RequestTracker:
 
     def record_syscall(self, request_id: int, cycle: float, name: str) -> None:
         self._open[request_id].syscalls.append((cycle, name))
+        if self._obs.enabled:
+            self._obs.emit("syscall", cycle, request_id=request_id, name=name)
 
     def close_period(self, request_id: int, period: PeriodRecord) -> None:
         """Attribute a finished execution period to its request.

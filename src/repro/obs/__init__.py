@@ -1,0 +1,52 @@
+"""repro.obs — observability for the simulator and experiment harness.
+
+Three cooperating pieces (see docs/observability.md):
+
+* :mod:`repro.obs.trace` — request-scoped structured event tracing with a
+  bounded ring buffer and deterministic JSONL export;
+* :mod:`repro.obs.metrics` — counters, gauges, and period-weighted
+  histograms with JSON-ready per-run snapshots;
+* :mod:`repro.obs.profiling` — wall-clock stage timing for the experiment
+  pipeline (generate → simulate → distance → cluster).
+"""
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, PeriodHistogram
+from repro.obs.profiling import (
+    StageProfiler,
+    activated,
+    active_profiler,
+    profiled_stage,
+)
+from repro.obs.trace import (
+    EVENT_KINDS,
+    NULL_COLLECTOR,
+    NullCollector,
+    ObsEvent,
+    RequestSpan,
+    TraceCollector,
+    events_to_jsonl,
+    load_events,
+    parse_events_jsonl,
+    save_events,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_KINDS",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_COLLECTOR",
+    "NullCollector",
+    "ObsEvent",
+    "PeriodHistogram",
+    "RequestSpan",
+    "StageProfiler",
+    "TraceCollector",
+    "activated",
+    "active_profiler",
+    "events_to_jsonl",
+    "load_events",
+    "parse_events_jsonl",
+    "profiled_stage",
+    "save_events",
+]

@@ -1,0 +1,183 @@
+"""Lightweight metrics registry for simulation and experiment runs.
+
+Three instrument types, mirroring what the paper's evaluation actually
+reports:
+
+* :class:`Counter` — monotonically increasing event counts (samples taken,
+  requests completed, scheduler decisions);
+* :class:`Gauge` — last-written values (thresholds in force, wall cycles);
+* :class:`PeriodHistogram` — period-weighted value distributions.  The
+  paper's metrics are ratios over execution periods of unequal length, so
+  observations carry weights and the summary statistics reuse
+  :mod:`repro.analysis.stats` (weighted mean / weighted percentile).  An
+  :class:`~repro.core.quantile.OnlineQuantile` tracks the streaming
+  80-percentile alongside — the same estimator the contention-easing
+  scheduler thresholds on — so snapshots exercise its edge cases (empty,
+  single observation, duplicate-heavy streams) continuously.
+
+Snapshots are plain nested dicts (JSON-ready, deterministically ordered)
+surfaced by ``repro-simulate --metrics-out`` / ``repro-experiments
+--metrics-out`` and rendered by :func:`repro.analysis.report.format_metrics`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.stats import weighted_mean, weighted_percentile
+from repro.core.quantile import OnlineQuantile
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (None until first set)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class PeriodHistogram:
+    """Weighted value distribution with percentile summaries.
+
+    ``observe(value, weight)`` records one period's metric value weighted
+    by the period's length (instructions or cycles); unweighted usage
+    passes ``weight=1``.  Non-positive weights are rejected to keep the
+    weighted statistics well defined.
+    """
+
+    def __init__(self, online_quantile: float = 0.8):
+        self._values: List[float] = []
+        self._weights: List[float] = []
+        self._online = OnlineQuantile(q=online_quantile)
+
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._values.append(float(value))
+        self._weights.append(float(weight))
+        self._online.observe(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    def mean(self) -> Optional[float]:
+        if not self._values:
+            return None
+        return weighted_mean(self._values, self._weights)
+
+    def percentile(self, q: float) -> Optional[float]:
+        if not self._values:
+            return None
+        return weighted_percentile(self._values, q, self._weights)
+
+    def online_estimate(self) -> Optional[float]:
+        """The streaming quantile estimate (None while empty)."""
+        return self._online.estimate()
+
+    def snapshot(self) -> dict:
+        if not self._values:
+            return {
+                "count": 0,
+                "mean": None,
+                "p50": None,
+                "p80": None,
+                "p95": None,
+                "min": None,
+                "max": None,
+                "p80_online": self.online_estimate(),
+            }
+        values = np.asarray(self._values)
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.percentile(50.0),
+            "p80": self.percentile(80.0),
+            "p95": self.percentile(95.0),
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "p80_online": self.online_estimate(),
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed instrument registry with per-run snapshots.
+
+    ``counter``/``gauge``/``histogram`` get-or-create; asking for an
+    existing name with a different instrument type is an error (silent
+    type morphing hides bugs).
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, PeriodHistogram] = {}
+
+    def _check_free(self, name: str, table: dict) -> None:
+        for kind, existing in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if existing is not table and name in existing:
+                raise ValueError(f"metric {name!r} already registered as a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        self._check_free(name, self._counters)
+        return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_free(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str, online_quantile: float = 0.8) -> PeriodHistogram:
+        self._check_free(name, self._histograms)
+        return self._histograms.setdefault(
+            name, PeriodHistogram(online_quantile=online_quantile)
+        )
+
+    def snapshot(self) -> dict:
+        """Deterministically ordered, JSON-ready state of every instrument."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def write_json(self, path: str, extra: Optional[dict] = None) -> None:
+        """Persist the snapshot (plus optional extra sections) as JSON."""
+        document = dict(self.snapshot())
+        if extra:
+            document.update(extra)
+        with open(path, "w") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")

@@ -1,0 +1,96 @@
+"""Wall-clock stage profiling for experiment runs.
+
+Each experiment pipeline walks the same stages — generate (workload
+construction), simulate (the discrete-event run), distance (pairwise
+differencing), cluster (k-medoids) — and performance work like the
+parallel distance engine needs those stages *measurable per run*.
+
+A :class:`StageProfiler` accumulates seconds and entry counts per stage.
+Instrumented library code calls :func:`profiled_stage`, which is a no-op
+unless a profiler has been activated for the current process (ambient,
+per-process state: experiment workers activate their own instance, so the
+fork-based runner parallelism keeps timings separated).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+#: Canonical stage names used by the instrumented pipeline.
+STAGES = ("generate", "simulate", "distance", "cluster")
+
+_ACTIVE: Optional["StageProfiler"] = None
+
+
+class StageProfiler:
+    """Accumulates wall seconds and entry counts per named stage."""
+
+    def __init__(self):
+        self._seconds: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._seconds[name] = self._seconds.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Fold in an externally measured duration."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + count
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Per-stage ``{"seconds": ..., "calls": ...}``, first-entry order."""
+        return {
+            name: {"seconds": self._seconds[name], "calls": self._counts[name]}
+            for name in self._seconds
+        }
+
+    def rows(self) -> list:
+        """Table rows for :func:`repro.analysis.report.format_table`."""
+        return [
+            {"stage": name, "calls": self._counts[name], "seconds": seconds}
+            for name, seconds in self._seconds.items()
+        ]
+
+
+def active_profiler() -> Optional[StageProfiler]:
+    return _ACTIVE
+
+
+@contextmanager
+def activated(profiler: StageProfiler):
+    """Make ``profiler`` the ambient stage sink for this process."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = profiler
+    try:
+        yield profiler
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def profiled_stage(name: str):
+    """Time a stage into the ambient profiler; no-op when none is active."""
+    profiler = _ACTIVE
+    if profiler is None:
+        yield
+        return
+    with profiler.stage(name):
+        yield

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.obs.profiling import profiled_stage
 from repro.workloads.microbench import MbenchData, MbenchSpin
 from repro.workloads.rubis import RubisWorkload
 from repro.workloads.tpcc import TpccWorkload
@@ -36,7 +37,8 @@ def make_workload(name: str):
         raise ValueError(
             f"unknown workload {name!r}; available: {sorted(_FACTORIES)}"
         ) from None
-    return factory()
+    with profiled_stage("generate"):
+        return factory()
 
 
 class FixedKindWorkload:

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis.report import format_bar_chart, format_table, format_value
+from repro.analysis.report import (
+    format_bar_chart,
+    format_metrics,
+    format_table,
+    format_value,
+)
 
 
 class TestFormatValue:
@@ -48,6 +53,23 @@ class TestFormatTable:
         text = format_table([{"col": "short"}, {"col": "much longer value"}])
         lines = text.splitlines()
         assert len(lines[0]) <= len(lines[1])
+
+
+class TestFormatMetrics:
+    def test_renders_registry_snapshot(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(7)
+        registry.gauge("wall_cycles").set(123.0)
+        registry.histogram("cpi").observe(2.5, weight=10.0)
+        text = format_metrics(registry.snapshot())
+        assert "requests" in text and "7" in text
+        assert "wall_cycles" in text
+        assert "cpi" in text and "distributions" in text
+
+    def test_empty_snapshot(self):
+        assert "(no metrics)" in format_metrics({})
 
 
 class TestFormatBarChart:

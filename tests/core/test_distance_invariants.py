@@ -1,0 +1,187 @@
+"""Property/invariant tests for the Section 4.1 differencing measures.
+
+Randomized series from a seeded generator drive metric-space style
+invariants: non-negativity, identity, symmetry, and the measure-specific
+bounds the paper's classification quality results rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distances import (
+    average_metric_distance,
+    l1_distance,
+    levenshtein_distance,
+    unequal_length_penalty,
+)
+from repro.core.dtw import dtw_distance
+
+SYSCALLS = np.array(["read", "write", "poll", "futex", "open", "close"])
+
+
+def _random_series(rng, max_len=40, min_len=1):
+    length = int(rng.integers(min_len, max_len + 1))
+    return rng.uniform(0.0, 10.0, size=length)
+
+
+def _cases(seed, n):
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            _random_series(rng),
+            _random_series(rng),
+            float(rng.uniform(0.0, 5.0)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestL1Distance:
+    @pytest.mark.parametrize("x,y,penalty", _cases(seed=101, n=25))
+    def test_non_negative_and_symmetric(self, x, y, penalty):
+        d = l1_distance(x, y, penalty=penalty)
+        assert d >= 0.0
+        assert d == pytest.approx(l1_distance(y, x, penalty=penalty))
+
+    @pytest.mark.parametrize("x,y,penalty", _cases(seed=102, n=10))
+    def test_identity(self, x, y, penalty):
+        assert l1_distance(x, x, penalty=penalty) == 0.0
+
+    @pytest.mark.parametrize("x,y,penalty", _cases(seed=103, n=10))
+    def test_length_mismatch_charges_penalty(self, x, y, penalty):
+        base = l1_distance(x, y, penalty=0.0)
+        charged = l1_distance(x, y, penalty=penalty)
+        surplus = abs(len(x) - len(y))
+        assert charged == pytest.approx(base + surplus * penalty)
+
+    def test_rejects_negative_penalty_and_empty(self):
+        with pytest.raises(ValueError):
+            l1_distance([1.0], [1.0], penalty=-0.1)
+        with pytest.raises(ValueError):
+            l1_distance([], [1.0], penalty=0.0)
+
+
+class TestAverageMetricDistance:
+    @pytest.mark.parametrize("x,y,_", _cases(seed=104, n=15))
+    def test_metric_properties(self, x, y, _):
+        d = average_metric_distance(x, y)
+        assert d >= 0.0
+        assert d == pytest.approx(average_metric_distance(y, x))
+        assert average_metric_distance(x, x) == 0.0
+
+    @pytest.mark.parametrize("x,y,_", _cases(seed=105, n=15))
+    def test_never_exceeds_l1_of_means_bound(self, x, y, _):
+        # Collapsing to averages can only lose variation detail: the
+        # average distance is bounded by the max pairwise value spread.
+        spread = max(x.max(), y.max()) - min(x.min(), y.min())
+        assert average_metric_distance(x, y) <= spread + 1e-12
+
+
+class TestDtwDistance:
+    @pytest.mark.parametrize("x,y,penalty", _cases(seed=106, n=25))
+    def test_non_negative_and_symmetric(self, x, y, penalty):
+        d = dtw_distance(x, y, asynchrony_penalty=penalty)
+        assert d >= 0.0
+        assert d == pytest.approx(dtw_distance(y, x, asynchrony_penalty=penalty))
+
+    @pytest.mark.parametrize("x,y,penalty", _cases(seed=107, n=10))
+    def test_identity(self, x, y, penalty):
+        assert dtw_distance(x, x, asynchrony_penalty=penalty) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("x,y,penalty", _cases(seed=108, n=25))
+    def test_penalty_is_monotone(self, x, y, penalty):
+        """Charging asynchronous steps can only increase the distance."""
+        plain = dtw_distance(x, y, asynchrony_penalty=0.0)
+        charged = dtw_distance(x, y, asynchrony_penalty=penalty)
+        assert charged >= plain - 1e-9
+
+    @pytest.mark.parametrize("x,y,penalty", _cases(seed=109, n=25))
+    def test_bounded_by_l1_on_equal_lengths(self, x, y, penalty):
+        """The all-synchronous path is one warp path, so DTW <= its cost."""
+        n = min(len(x), len(y))
+        x, y = x[:n], y[:n]
+        synchronous_cost = l1_distance(x, y, penalty=0.0)
+        assert dtw_distance(x, y, asynchrony_penalty=penalty) <= (
+            synchronous_cost + 1e-9
+        )
+
+    @pytest.mark.parametrize("x,y,penalty", _cases(seed=110, n=10))
+    def test_matches_reference_dp(self, x, y, penalty):
+        """The vectorized recurrence equals the textbook O(m*n) DP."""
+        x, y = x[:12], y[:12]
+        m, n = len(x), len(y)
+        dp = np.full((m, n), np.inf)
+        for i in range(m):
+            for j in range(n):
+                cost = abs(x[i] - y[j])
+                if i == 0 and j == 0:
+                    dp[i, j] = cost
+                    continue
+                best = np.inf
+                if i > 0 and j > 0:
+                    best = min(best, dp[i - 1, j - 1])
+                if i > 0:
+                    best = min(best, dp[i - 1, j] + penalty)
+                if j > 0:
+                    best = min(best, dp[i, j - 1] + penalty)
+                dp[i, j] = cost + best
+        assert dtw_distance(x, y, asynchrony_penalty=penalty) == pytest.approx(
+            float(dp[-1, -1])
+        )
+
+    def test_rejects_negative_penalty_and_empty(self):
+        with pytest.raises(ValueError):
+            dtw_distance([1.0], [1.0], asynchrony_penalty=-1.0)
+        with pytest.raises(ValueError):
+            dtw_distance([], [1.0])
+
+
+def _syscall_sequences(seed, n):
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            list(rng.choice(SYSCALLS, size=int(rng.integers(0, 15)))),
+            list(rng.choice(SYSCALLS, size=int(rng.integers(0, 15)))),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize("a,b", _syscall_sequences(seed=111, n=25))
+    def test_bounds(self, a, b):
+        d = levenshtein_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @pytest.mark.parametrize("a,b", _syscall_sequences(seed=112, n=15))
+    def test_identity_and_symmetry(self, a, b):
+        assert levenshtein_distance(a, a) == 0
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @pytest.mark.parametrize("a,b", _syscall_sequences(seed=113, n=15))
+    def test_triangle_inequality(self, a, b):
+        rng = np.random.default_rng(hash((len(a), len(b))) % (2**32))
+        c = list(rng.choice(SYSCALLS, size=int(rng.integers(0, 15))))
+        assert levenshtein_distance(a, b) <= (
+            levenshtein_distance(a, c) + levenshtein_distance(c, b)
+        )
+
+
+class TestUnequalLengthPenalty:
+    def test_penalty_within_observed_range(self):
+        rng = np.random.default_rng(7)
+        values = rng.uniform(1.0, 3.0, size=500)
+        penalty = unequal_length_penalty(values, rng)
+        assert 0.0 <= penalty <= values.max() - values.min()
+
+    def test_deterministic_given_rng_seed(self):
+        values = np.linspace(0.0, 1.0, 200)
+        a = unequal_length_penalty(values, np.random.default_rng(3))
+        b = unequal_length_penalty(values, np.random.default_rng(3))
+        assert a == b
+
+    def test_needs_two_values(self):
+        with pytest.raises(ValueError):
+            unequal_length_penalty([1.0], np.random.default_rng(0))

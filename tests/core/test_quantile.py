@@ -87,6 +87,55 @@ class TestAccuracy:
         assert min(values) - 1e-9 <= est.estimate() <= max(values) + 1e-9
 
 
+class TestEdgeCases:
+    """Empty, single-observation, and duplicate-heavy streams (the inputs
+    the contention scheduler's adaptive threshold actually feeds it)."""
+
+    def test_empty_estimator_reports_none_and_zero_count(self):
+        est = OnlineQuantile(q=0.8)
+        assert est.estimate() is None
+        assert est.count == 0
+
+    def test_single_observation_is_the_estimate(self):
+        est = OnlineQuantile(q=0.8)
+        est.observe(0.042)
+        assert est.estimate() == 0.042
+        assert est.count == 1
+
+    def test_duplicate_heavy_sorted_stream_stays_in_range(self):
+        # All duplicates first is the P-square worst case: the estimate
+        # drifts but must remain inside the observed value range.
+        est = OnlineQuantile(q=0.8)
+        for v in [0.0] * 900 + [1.0] * 100:
+            est.observe(v)
+        assert 0.0 <= est.estimate() <= 1.0
+
+    def test_duplicate_heavy_shuffled_stream_tracks_mass(self):
+        rng = np.random.default_rng(17)
+        values = np.array([0.0] * 900 + [1.0] * 100)
+        rng.shuffle(values)
+        est = OnlineQuantile(q=0.8)
+        for v in values:
+            est.observe(float(v))
+        # 80th percentile of 90% zeros is zero; interleaved duplicates
+        # must keep the estimate near the duplicate mass.
+        assert est.estimate() == pytest.approx(0.0, abs=0.05)
+
+    def test_all_identical_then_one_outlier(self):
+        est = OnlineQuantile(q=0.8)
+        for _ in range(50):
+            est.observe(3.0)
+        est.observe(100.0)
+        assert 3.0 <= est.estimate() <= 100.0
+
+    def test_alternating_duplicates(self):
+        est = OnlineQuantile(q=0.5)
+        for _ in range(200):
+            est.observe(1.0)
+            est.observe(2.0)
+        assert 1.0 <= est.estimate() <= 2.0
+
+
 class TestPreWarmupNearestRank:
     """Before the five-marker warm-up the estimate is the nearest-rank
     order statistic (1-based rank ceil(q*n)), matching the post-warmup

@@ -79,6 +79,52 @@ class TestMainArguments:
         assert "must be >= 1" in capsys.readouterr().err
 
 
+class TestProfileAndMetrics:
+    def test_profile_attaches_stage_seconds(self):
+        results = list(run_experiments(["table1"], scale=0.05, profile=True))
+        _, result, _ = results[0]
+        assert "simulate" in result.stage_seconds
+        entry = result.stage_seconds["simulate"]
+        assert entry["calls"] >= 1
+        assert entry["seconds"] > 0.0
+
+    def test_profile_does_not_change_rendered_output(self):
+        plain = next(iter(run_experiments(["table1"], scale=0.05)))[1].render()
+        profiled = next(
+            iter(run_experiments(["table1"], scale=0.05, profile=True))
+        )[1].render()
+        assert profiled == plain
+
+    def test_profile_flag_prints_stage_table(self, capsys):
+        assert main(["table1", "--scale", "0.05", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "stage profile" in out
+        assert "simulate" in out
+
+    def test_metrics_out_writes_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["table1", "--scale", "0.05", "--metrics-out", str(path)]
+        ) == 0
+        document = json.loads(path.read_text())
+        assert "table1" in document
+        assert document["table1"]["seconds"] > 0
+        assert "simulate" in document["table1"]["stages"]
+
+    def test_parallel_profile_timings_are_per_experiment(self):
+        # Both experiments drive the simulator, so the snapshots must be
+        # captured inside each fork worker, not in the parent.
+        results = {
+            exp_id: result.stage_seconds
+            for exp_id, result, _ in run_experiments(
+                ["table1", "sec32"], scale=0.05, jobs=2, profile=True
+            )
+        }
+        assert all("simulate" in stages for stages in results.values())
+
+
 class TestParallelRunner:
     def test_parallel_results_match_serial(self):
         ids = ["fig6", "fig4"]

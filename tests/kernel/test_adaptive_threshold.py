@@ -32,6 +32,51 @@ class TestAdaptiveThreshold:
             np.percentile(samples, 80), rel=0.15
         )
 
+    def test_zero_warmup_empty_estimator_falls_back_to_static(self):
+        """Regression: warmup 0 with no observations used to return None,
+        crashing the first high-usage comparison with a TypeError."""
+        sched = ContentionEasingScheduler(
+            high_usage_threshold=0.07, adaptive_threshold=True, adaptive_warmup=0
+        )
+        assert sched.current_threshold() == 0.07
+
+    def test_zero_warmup_run_does_not_crash(self):
+        result = run_small(
+            "tpcc", num_requests=6, seed=13,
+            scheduler=ContentionEasingScheduler(
+                high_usage_threshold=0.01,
+                adaptive_threshold=True,
+                adaptive_warmup=0,
+            ),
+        )
+        assert len(result.traces) == 6
+
+    def test_single_observation_threshold(self):
+        sched = ContentionEasingScheduler(
+            high_usage_threshold=1.0, adaptive_threshold=True, adaptive_warmup=1
+        )
+
+        class FakeTask:
+            predictor_state = {}
+
+        sched.on_sample(FakeTask(), 1e6, 5e4, 3e6)
+        assert sched.current_threshold() == pytest.approx(0.05)
+
+    def test_duplicate_heavy_stream_threshold_in_range(self):
+        sched = ContentionEasingScheduler(
+            high_usage_threshold=1.0, adaptive_threshold=True, adaptive_warmup=10
+        )
+
+        class FakeTask:
+            predictor_state = {}
+
+        # 90% of samples at one value, a few outliers above.
+        for _ in range(900):
+            sched.on_sample(FakeTask(), 1e6, 2e4, 3e6)
+        for _ in range(100):
+            sched.on_sample(FakeTask(), 1e6, 9e4, 3e6)
+        assert 0.02 <= sched.current_threshold() <= 0.09
+
     def test_static_mode_never_learns(self):
         sched = ContentionEasingScheduler(high_usage_threshold=0.5)
 

@@ -1,0 +1,132 @@
+"""Metrics registry: counters, gauges, weighted histograms, snapshots."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, PeriodHistogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_none_until_set_then_last_write_wins(self):
+        gauge = Gauge()
+        assert gauge.value is None
+        gauge.set(3)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+
+class TestPeriodHistogram:
+    def test_empty_snapshot_is_all_none(self):
+        snapshot = PeriodHistogram().snapshot()
+        assert snapshot["count"] == 0
+        assert all(
+            snapshot[key] is None
+            for key in ("mean", "p50", "p80", "p95", "min", "max", "p80_online")
+        )
+
+    def test_single_observation(self):
+        histogram = PeriodHistogram()
+        histogram.observe(4.0, weight=10.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 1
+        assert snapshot["mean"] == 4.0
+        assert snapshot["p50"] == 4.0
+        assert snapshot["min"] == snapshot["max"] == 4.0
+
+    def test_weighted_mean_respects_weights(self):
+        histogram = PeriodHistogram()
+        histogram.observe(1.0, weight=3.0)
+        histogram.observe(5.0, weight=1.0)
+        assert histogram.mean() == pytest.approx(2.0)
+
+    def test_duplicate_heavy_stream(self):
+        histogram = PeriodHistogram()
+        for _ in range(95):
+            histogram.observe(2.0)
+        for _ in range(5):
+            histogram.observe(9.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["p50"] == pytest.approx(2.0)
+        assert snapshot["p80"] == pytest.approx(2.0)
+        assert snapshot["max"] == 9.0
+        # Streaming p80 stays in the observed value range.
+        assert 2.0 <= snapshot["p80_online"] <= 9.0
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            PeriodHistogram().observe(1.0, weight=0.0)
+
+    def test_online_estimate_tracks_percentile(self):
+        histogram = PeriodHistogram(online_quantile=0.8)
+        rng = np.random.default_rng(42)
+        values = rng.uniform(0.0, 100.0, size=2000)
+        for value in values:
+            histogram.observe(float(value))
+        true_p80 = float(np.percentile(values, 80))
+        assert histogram.online_estimate() == pytest.approx(true_p80, abs=5.0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc()
+        assert registry.counter("a").value == 2
+
+    def test_cross_type_name_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc(2)
+        registry.counter("alpha").inc(1)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0, weight=2.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["alpha", "zeta"]
+        json.dumps(snapshot)  # must not raise
+
+    def test_write_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(4)
+        path = tmp_path / "metrics.json"
+        registry.write_json(str(path), extra={"seed": 7})
+        document = json.loads(path.read_text())
+        assert document["counters"]["events"] == 4
+        assert document["seed"] == 7
+
+
+class TestSimResultIntegration:
+    def test_register_metrics_from_run(self, tpcc_run):
+        registry = MetricsRegistry()
+        tpcc_run.register_metrics(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["requests_completed"] == len(tpcc_run.traces)
+        assert snapshot["gauges"]["wall_cycles"] == tpcc_run.wall_cycles
+        cpi = snapshot["histograms"]["request_cpi"]
+        assert cpi["count"] == len(tpcc_run.traces)
+        expected = tpcc_run.request_cpis()
+        assert cpi["min"] == pytest.approx(float(expected.min()))
+        assert cpi["max"] == pytest.approx(float(expected.max()))

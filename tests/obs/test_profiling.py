@@ -1,0 +1,77 @@
+"""Stage profiler: accumulation, ambient activation, no-op default."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.profiling import (
+    STAGES,
+    StageProfiler,
+    activated,
+    active_profiler,
+    profiled_stage,
+)
+
+
+def test_stage_accumulates_seconds_and_counts():
+    profiler = StageProfiler()
+    with profiler.stage("simulate"):
+        pass
+    with profiler.stage("simulate"):
+        pass
+    assert profiler.count("simulate") == 2
+    assert profiler.seconds("simulate") >= 0.0
+    assert profiler.count("distance") == 0
+
+
+def test_add_external_duration():
+    profiler = StageProfiler()
+    profiler.add("distance", 1.5)
+    profiler.add("distance", 0.5, count=3)
+    assert profiler.seconds("distance") == pytest.approx(2.0)
+    assert profiler.count("distance") == 4
+    with pytest.raises(ValueError):
+        profiler.add("distance", -1.0)
+
+
+def test_snapshot_shape():
+    profiler = StageProfiler()
+    profiler.add("generate", 0.25)
+    snapshot = profiler.snapshot()
+    assert snapshot == {"generate": {"seconds": 0.25, "calls": 1}}
+
+
+def test_profiled_stage_is_noop_without_activation():
+    assert active_profiler() is None
+    with profiled_stage("simulate"):
+        pass  # must not raise and must not record anywhere
+
+
+def test_activation_is_scoped_and_restores_previous():
+    outer, inner = StageProfiler(), StageProfiler()
+    with activated(outer):
+        with profiled_stage("cluster"):
+            pass
+        with activated(inner):
+            assert active_profiler() is inner
+            with profiled_stage("cluster"):
+                pass
+        assert active_profiler() is outer
+    assert active_profiler() is None
+    assert outer.count("cluster") == 1
+    assert inner.count("cluster") == 1
+
+
+def test_simulator_reports_stage_time():
+    from tests.conftest import run_small
+
+    profiler = StageProfiler()
+    with activated(profiler):
+        run_small("webserver", num_requests=4, seed=3)
+    assert profiler.count("simulate") == 1
+    assert profiler.seconds("simulate") > 0.0
+    assert profiler.count("generate") == 1
+
+
+def test_canonical_stage_names():
+    assert STAGES == ("generate", "simulate", "distance", "cluster")

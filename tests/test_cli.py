@@ -94,6 +94,84 @@ class TestMain:
         assert main(argv + ["--jobs", "2"]) == 0
         assert capsys.readouterr().out == serial_out
 
+    def test_export_jsonl(self, tmp_path, capsys):
+        out_file = tmp_path / "t.jsonl"
+        assert main(
+            ["tpcc", "--requests", "4", "--export", str(out_file)]
+        ) == 0
+        from repro.kernel.trace_io import load_traces
+
+        assert out_file.read_text().startswith('{"format":"repro-request-traces"')
+        assert len(load_traces(str(out_file))) == 4
+
+
+class TestObservabilityFlags:
+    def test_trace_flag_writes_events(self, tmp_path, capsys):
+        from repro.obs.trace import load_events
+
+        path = tmp_path / "events.jsonl"
+        assert main(
+            ["tpcc", "--requests", "5", "--seed", "3", "--trace", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "observability events written" in out
+        events, dropped = load_events(str(path))
+        assert dropped == 0
+        assert events[0].kind == "run_start"
+        assert events[-1].kind == "run_end"
+        completed = [e for e in events if e.kind == "request_completed"]
+        assert len(completed) == 5
+
+    def test_trace_capacity_bounds_file(self, tmp_path, capsys):
+        from repro.obs.trace import load_events
+
+        path = tmp_path / "events.jsonl"
+        assert main(
+            ["tpcc", "--requests", "5", "--trace", str(path),
+             "--trace-capacity", "20"]
+        ) == 0
+        events, dropped = load_events(str(path))
+        assert len(events) == 20
+        assert dropped > 0
+
+    def test_metrics_out_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["webserver", "--requests", "4", "--seed", "1",
+             "--metrics-out", str(path)]
+        ) == 0
+        document = json.loads(path.read_text())
+        assert document["counters"]["requests_completed"] == 4
+        assert document["workload"] == "webserver"
+        assert document["histograms"]["request_cpi"]["count"] == 4
+        assert "simulate" in document["stages"]
+        assert "generate" in document["stages"]
+
+    def test_trace_replays_to_reported_cpi_stats(self, tmp_path, capsys):
+        """Acceptance: the exported JSONL replays to the CPI statistics the
+        run itself printed."""
+        import re
+
+        import numpy as np
+
+        from repro.kernel.trace_io import load_traces
+
+        path = tmp_path / "t.jsonl"
+        assert main(
+            ["tpcc", "--requests", "6", "--seed", "9", "--export", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"request CPI: mean (\d+\.\d+), p90 (\d+\.\d+)", out)
+        assert match is not None
+        loaded = load_traces(str(path))
+        cpis = np.array([t.overall_cpi() for t in loaded])
+        assert float(match.group(1)) == pytest.approx(cpis.mean(), abs=0.005)
+        assert float(match.group(2)) == pytest.approx(
+            np.percentile(cpis, 90), abs=0.005
+        )
+
 
 class TestArgumentValidation:
     """Malformed specs exit with an argparse error, not a raw traceback."""

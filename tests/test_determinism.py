@@ -1,0 +1,90 @@
+"""Determinism golden tests: same seed => byte-identical artifacts.
+
+The repository's figures are only trustworthy if a run is a pure function
+of its seed.  These tests pin that property at the byte level (hashing
+exported JSONL) and across execution strategies (serial vs. forked
+parallel experiment runs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.kernel.trace_io import traces_to_jsonl
+from repro.obs.trace import TraceCollector, events_to_jsonl
+from tests.conftest import run_small
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _traced(app, seed):
+    collector = TraceCollector()
+    result = run_small(app, num_requests=10, seed=seed, collector=collector)
+    return result, collector
+
+
+@pytest.mark.parametrize("app", ["webserver", "tpcc"])
+def test_same_seed_runs_export_identical_event_streams(app):
+    _, first = _traced(app, seed=33)
+    _, second = _traced(app, seed=33)
+    text_a = events_to_jsonl(first.events, dropped=first.dropped)
+    text_b = events_to_jsonl(second.events, dropped=second.dropped)
+    assert _digest(text_a) == _digest(text_b)
+
+
+def test_different_seeds_diverge():
+    _, first = _traced("tpcc", seed=1)
+    _, second = _traced("tpcc", seed=2)
+    assert _digest(events_to_jsonl(first.events)) != _digest(
+        events_to_jsonl(second.events)
+    )
+
+
+def test_same_seed_runs_export_identical_request_traces():
+    first, _ = _traced("webserver", seed=12)
+    second, _ = _traced("webserver", seed=12)
+    assert _digest(traces_to_jsonl(first.traces)) == _digest(
+        traces_to_jsonl(second.traces)
+    )
+
+
+def test_tracing_does_not_change_exported_traces():
+    """The trace artifact is identical with and without observability on."""
+    plain = run_small("tpcc", num_requests=10, seed=44)
+    traced, _ = _traced("tpcc", seed=44)
+    assert _digest(traces_to_jsonl(plain.traces)) == _digest(
+        traces_to_jsonl(traced.traces)
+    )
+
+
+class TestParallelExperimentParity:
+    """`repro-experiments --jobs N` must render exactly the serial output."""
+
+    EXPERIMENTS = ["table1", "sec32"]
+    SCALE = 0.05
+
+    @staticmethod
+    def _rendered(jobs):
+        from repro.experiments.runner import run_experiments
+
+        return {
+            exp_id: result.render()
+            for exp_id, result, _ in run_experiments(
+                TestParallelExperimentParity.EXPERIMENTS,
+                TestParallelExperimentParity.SCALE,
+                jobs=jobs,
+            )
+        }
+
+    def test_jobs2_matches_serial(self):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        serial = self._rendered(jobs=1)
+        parallel = self._rendered(jobs=2)
+        assert parallel == serial

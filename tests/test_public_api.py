@@ -33,6 +33,7 @@ class TestExports:
             "repro.kernel",
             "repro.workloads",
             "repro.core",
+            "repro.obs",
             "repro.analysis",
             "repro.experiments",
             "repro.cli",
@@ -42,7 +43,13 @@ class TestExports:
         importlib.import_module(module)
 
     def test_subpackage_alls_resolve(self):
-        for name in ("repro.hardware", "repro.kernel", "repro.workloads", "repro.core"):
+        for name in (
+            "repro.hardware",
+            "repro.kernel",
+            "repro.workloads",
+            "repro.core",
+            "repro.obs",
+        ):
             module = importlib.import_module(name)
             for symbol in getattr(module, "__all__", []):
                 assert hasattr(module, symbol), (name, symbol)
