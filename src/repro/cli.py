@@ -30,7 +30,13 @@ from repro.kernel.trace_io import save_traces
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiling import StageProfiler, activated
 from repro.obs.trace import TraceCollector, save_events
-from repro.workloads.registry import SERVER_APPS, available_workloads, make_workload
+from repro.workloads.registry import (
+    SERVER_APPS,
+    available_workloads,
+    make_faulted_workload,
+    make_workload,
+    parse_fault_spec,
+)
 
 
 def _spec_float(text: str, spec: str) -> float:
@@ -68,6 +74,15 @@ def parse_scheduler(text: str, threshold: float):
             high_usage_threshold=threshold, adaptive_threshold=True
         )
     raise ValueError(f"unknown scheduler {text!r}")
+
+
+def fault_spec(text: str) -> str:
+    """argparse type for ``--faults``: validate ``kind:rate``, keep the text."""
+    try:
+        parse_fault_spec(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return text
 
 
 def positive_int(text: str) -> int:
@@ -143,6 +158,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the --classify pairwise-distance "
         "matrix (default 1)",
     )
+    parser.add_argument(
+        "--faults", type=fault_spec, default=None, metavar="KIND:RATE",
+        help="inject ground-truth faults into the workload, e.g. "
+        "lock_stall:0.2 (kinds: lock_stall, cache_thrash, slowdown)",
+    )
+    parser.add_argument(
+        "--online", action="store_true",
+        help="attach the streaming online pipeline (prediction + anomaly "
+        "detection) to the run and print its scored report",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="with --online: write the pipeline's versioned checkpoint "
+        "after the run",
+    )
     return parser
 
 
@@ -192,10 +222,29 @@ def main(argv=None) -> int:
         )
         return 2
 
+    if args.checkpoint and not args.online:
+        parser.error("--checkpoint requires --online")
+
     profiler = StageProfiler()
-    collector = TraceCollector(capacity=args.trace_capacity) if args.trace else None
+    collector = None
+    pipeline = None
+    if args.trace:
+        collector = TraceCollector(capacity=args.trace_capacity)
+    if args.online:
+        from repro.online.pipeline import SUBSCRIBED_KINDS, OnlinePipeline
+
+        if collector is None:
+            # Online-only runs stream just the kinds the pipeline reads,
+            # retaining nothing (dispatch-only).
+            collector = TraceCollector(capacity=0, kinds=SUBSCRIBED_KINDS)
+        pipeline = OnlinePipeline()
+        collector.subscribe(pipeline.process_event)
     with activated(profiler):
-        workload = make_workload(args.workload)
+        workload = (
+            make_faulted_workload(args.workload, args.faults)
+            if args.faults
+            else make_workload(args.workload)
+        )
         try:
             sampling = (
                 parse_sampling(args.sampling)
@@ -263,6 +312,16 @@ def main(argv=None) -> int:
                 jobs=args.jobs,
             )
         print(summary)
+
+    if pipeline is not None:
+        from repro.online.checkpoint import save_checkpoint
+        from repro.online.report import build_report
+
+        print()
+        print(build_report(pipeline).render())
+        if args.checkpoint:
+            save_checkpoint(pipeline, args.checkpoint)
+            print(f"checkpoint written to {args.checkpoint}")
 
     if args.export:
         save_traces(result.traces, args.export)

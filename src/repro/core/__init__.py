@@ -7,6 +7,7 @@ identification, online behavior predictors (EWMA / variable-aging EWMA),
 and behavior-transition-signal training.
 """
 
+from repro.core.centroids import GroupCentroids, IncrementalCentroid
 from repro.core.clustering import (
     KMedoidsResult,
     choose_k,
@@ -38,7 +39,9 @@ __all__ = [
     "DistanceCache",
     "DistanceEngine",
     "Ewma",
+    "GroupCentroids",
     "Identification",
+    "IncrementalCentroid",
     "KMedoidsResult",
     "LastValue",
     "MetricSeries",

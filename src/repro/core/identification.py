@@ -15,17 +15,23 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.distances import unequal_length_penalty
-from repro.core.signatures import SignatureBank
+from repro.core.signatures import BankMatch, SignatureBank
 
 
 @dataclass(frozen=True)
 class Identification:
-    """Outcome of identifying one partial request execution."""
+    """Outcome of identifying one partial request execution.
+
+    ``has_evidence`` is False when the partial pattern was empty (nothing
+    observed yet): the prediction then falls back to the no-information
+    prior — CPU time at the population threshold, not expensive, no label.
+    """
 
     predicted_cpu_time_us: float
     predicted_expensive: bool
     matched_label: Optional[str]
     windows_used: int
+    has_evidence: bool = True
 
 
 class OnlineIdentifier:
@@ -85,10 +91,23 @@ class OnlineIdentifier:
         return trace.series(self.metric, self.window_instructions).values
 
     def identify(self, partial_pattern) -> Identification:
-        """Identify a request from its observed partial pattern."""
+        """Identify a request from its observed partial pattern.
+
+        An empty partial pattern (no execution observed yet) is valid
+        online input, not an error: the result is a defined "no evidence"
+        identification predicting the population prior.
+        """
         if not self.is_fitted:
             raise RuntimeError("identifier not fitted; call fit() first")
         partial = np.asarray(partial_pattern, dtype=float)
+        if partial.size == 0:
+            return Identification(
+                predicted_cpu_time_us=float(self.threshold_us),
+                predicted_expensive=False,
+                matched_label=None,
+                windows_used=0,
+                has_evidence=False,
+            )
         match = self._bank.identify(partial)
         return Identification(
             predicted_cpu_time_us=match.cpu_time_us,
@@ -97,11 +116,70 @@ class OnlineIdentifier:
             windows_used=int(partial.size),
         )
 
+    def match(self, partial_pattern) -> Optional[BankMatch]:
+        """Scored prefix identification (None on an empty pattern).
+
+        This is the streaming pipeline's per-window poll: it needs the
+        best/runner-up distances to build a commit-confidence margin, not
+        just the winning label.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("identifier not fitted; call fit() first")
+        partial = np.asarray(partial_pattern, dtype=float)
+        if partial.size == 0:
+            return None
+        return self._bank.match(partial)
+
+    def nearest_label(self, partial_pattern) -> Optional[str]:
+        """Winning signature label only (None on an empty pattern).
+
+        The cheap per-window variant of :meth:`match` for pollers that
+        drive commitment off label stability rather than distance margins.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("identifier not fitted; call fit() first")
+        if len(partial_pattern) == 0:
+            return None
+        return self._bank.nearest_label(partial_pattern)
+
+    def prefix_rows(self) -> tuple:
+        """Bank rows + penalty for incremental per-window prefix sweeps
+        (see :meth:`repro.core.signatures.SignatureBank.prefix_rows`)."""
+        if not self.is_fitted:
+            raise RuntimeError("identifier not fitted; call fit() first")
+        return self._bank.prefix_rows()
+
     def identify_trace_prefix(self, trace, max_instructions: float) -> Identification:
         """Identify from the first ``max_instructions`` of a trace."""
         pattern = self.pattern_of(trace)
         windows = max(1, int(max_instructions // self.window_instructions))
         return self.identify(pattern[:windows])
+
+    def to_state(self) -> dict:
+        """JSON-ready snapshot of the fitted identifier (for checkpoints)."""
+        return {
+            "metric": self.metric,
+            "window_instructions": self.window_instructions,
+            "method": self.method,
+            "threshold_us": self.threshold_us,
+            "explicit_threshold": self._explicit_threshold,
+            "seed": self._seed,
+            "bank": self._bank.to_state() if self._bank is not None else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineIdentifier":
+        identifier = cls(
+            metric=state["metric"],
+            window_instructions=state["window_instructions"],
+            method=state["method"],
+            threshold_us=state["explicit_threshold"],
+            seed=state["seed"],
+        )
+        identifier.threshold_us = state["threshold_us"]
+        if state["bank"] is not None:
+            identifier._bank = SignatureBank.from_state(state["bank"])
+        return identifier
 
     def evaluate(
         self, traces: Sequence, prefix_windows: Sequence[int]

@@ -56,12 +56,19 @@ class OnlineQuantile:
         elif value >= h[4]:
             h[4] = value
             k = 3
+        elif value < h[1]:
+            k = 0
+        elif value < h[2]:
+            k = 1
+        elif value < h[3]:
+            k = 2
         else:
-            k = next(i for i in range(4) if h[i] <= value < h[i + 1])
+            k = 3
         for i in range(k + 1, 5):
             n[i] += 1.0
+        increments = self._increments
         for i in range(5):
-            d[i] += self._increments[i]
+            d[i] += increments[i]
         # Adjust interior markers toward their desired positions.
         for i in (1, 2, 3):
             delta = d[i] - n[i]
@@ -87,6 +94,35 @@ class OnlineQuantile:
         h, n = self._heights, self._positions
         j = i + int(step)
         return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def to_state(self) -> dict:
+        """JSON-ready snapshot of the full estimator state.
+
+        Every marker is a Python float, so a json round trip restores the
+        estimator bit-exactly — subsequent observations and estimates are
+        byte-identical to an uninterrupted run (the online-pipeline
+        checkpoint contract).
+        """
+        return {
+            "q": self.q,
+            "initial": list(self._initial),
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+            "increments": list(self._increments),
+            "count": self.count,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OnlineQuantile":
+        estimator = cls(q=float(state["q"]))
+        estimator._initial = [float(v) for v in state["initial"]]
+        estimator._heights = [float(v) for v in state["heights"]]
+        estimator._positions = [float(v) for v in state["positions"]]
+        estimator._desired = [float(v) for v in state["desired"]]
+        estimator._increments = [float(v) for v in state["increments"]]
+        estimator.count = int(state["count"])
+        return estimator
 
     def estimate(self) -> Optional[float]:
         """The current quantile estimate (None before any observation)."""

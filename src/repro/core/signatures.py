@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.distances import average_metric_distance, l1_distance
+from repro.core.distances import average_metric_distance
 from repro.core.distengine import DistanceEngine, get_default_engine
 
 
@@ -28,6 +28,25 @@ class Signature:
     values: np.ndarray
     cpu_time_us: float
     label: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BankMatch:
+    """A scored identification: the winning signature plus its evidence.
+
+    ``margin`` (runner-up distance minus best distance) is the online
+    pipeline's confidence signal: a commit-worthy match separates itself
+    from the rest of the bank, not merely from nothing.
+    """
+
+    signature: Signature
+    index: int
+    distance: float
+    runner_up_distance: float
+
+    @property
+    def margin(self) -> float:
+        return self.runner_up_distance - self.distance
 
 
 class SignatureBank:
@@ -46,9 +65,10 @@ class SignatureBank:
         * ``"average"`` — difference of average metric values (the prior
           signature form the paper compares against).
 
-        ``engine`` routes bank matching through a shared distance engine;
-        attaching one with a cache memoizes repeated identifications of
-        the same partial pattern.
+        ``engine`` routes ``"average"`` matching through a shared distance
+        engine; ``"variation"`` matching runs on a vectorized in-process
+        prefix sweep (one numpy pass over the whole bank), which beats any
+        memoization at streaming rates where every poll is a new prefix.
         """
         if method not in ("variation", "average"):
             raise ValueError(f"unknown method {method!r}")
@@ -58,6 +78,8 @@ class SignatureBank:
         self._penalty = penalty
         self._method = method
         self._engine = engine if engine is not None else get_default_engine()
+        self._stack: Optional[tuple] = None
+        self._rows: Optional[list] = None
         if method == "variation":
             self._distance_key = f"sigbank-l1:p={penalty!r}"
         else:
@@ -73,6 +95,36 @@ class SignatureBank:
         self._signatures.append(
             Signature(values=values, cpu_time_us=float(cpu_time_us), label=label)
         )
+        self._stack = None
+        self._rows = None
+
+    def _prefix_stack(self) -> tuple:
+        """Bank signatures stacked into one zero-padded matrix + lengths."""
+        if self._stack is None:
+            lengths = np.array([s.values.size for s in self._signatures])
+            matrix = np.zeros((len(self._signatures), int(lengths.max())))
+            for row, signature in zip(matrix, self._signatures):
+                row[: signature.values.size] = signature.values
+            self._stack = (matrix, lengths, np.arange(matrix.shape[1]))
+        return self._stack
+
+    def _variation_distances(self, partial: np.ndarray) -> np.ndarray:
+        """L1 prefix distances of ``partial`` against every bank signature.
+
+        One vectorized pass equivalent to ``l1_distance(partial,
+        s.values[:partial.size], penalty)`` per signature: the common
+        prefix contributes element-wise absolute differences and each
+        window of ``partial`` beyond a signature's end contributes the
+        unequal-length penalty.
+        """
+        matrix, lengths, columns = self._prefix_stack()
+        width = min(partial.size, matrix.shape[1])
+        diff = np.abs(matrix[:, :width] - partial[:width])
+        if lengths.min() < width:
+            # Padding columns of shorter signatures must not contribute.
+            diff[columns[:width] >= lengths[:, None]] = 0.0
+        surplus = np.maximum(partial.size - lengths, 0)
+        return diff.sum(axis=1) + surplus * self._penalty
 
     def identify(self, partial_values) -> Signature:
         """Best-matching bank signature for a partial variation pattern.
@@ -81,25 +133,144 @@ class SignatureBank:
         pattern's length: an online identification can only use the
         execution observed so far.
         """
+        return self.match(partial_values).signature
+
+    def match(self, partial_values) -> BankMatch:
+        """Identify with scores: best signature, distance, and runner-up.
+
+        The prefix API the streaming pipeline polls window by window; the
+        runner-up distance lets callers turn raw distances into a
+        confidence margin without a second bank sweep.
+        """
         if not self._signatures:
             raise ValueError("empty signature bank")
         partial = np.asarray(partial_values, dtype=float)
         if partial.size == 0:
             raise ValueError("empty partial pattern")
         if self._method == "variation":
-            fn = lambda a, b: l1_distance(a, b, penalty=self._penalty)
+            distances = self._variation_distances(partial)
         else:
-            fn = average_metric_distance
-        prefixes = [s.values[: partial.size] for s in self._signatures]
-        distances = self._engine.one_to_many(
-            partial, prefixes, fn, distance_key=self._distance_key
-        )
+            prefixes = [s.values[: partial.size] for s in self._signatures]
+            distances = np.asarray(
+                self._engine.one_to_many(
+                    partial,
+                    prefixes,
+                    average_metric_distance,
+                    distance_key=self._distance_key,
+                ),
+                dtype=float,
+            )
         # First minimum — the same tie-breaking as a strict `<` scan.
-        return self._signatures[int(np.argmin(distances))]
+        best = int(np.argmin(distances))
+        if distances.size > 1:
+            # Second order statistic == min over everything but `best`
+            # (ties make them equal either way); avoids np.delete's copy.
+            runner_up = float(np.partition(distances, 1)[1])
+        else:
+            runner_up = float("inf")
+        return BankMatch(
+            signature=self._signatures[best],
+            index=best,
+            distance=float(distances[best]),
+            runner_up_distance=runner_up,
+        )
+
+    def _signature_rows(self) -> list:
+        """Signatures as plain ``(values_list, length, label)`` rows."""
+        if self._rows is None:
+            self._rows = [
+                (s.values.tolist(), s.values.size, s.label)
+                for s in self._signatures
+            ]
+        return self._rows
+
+    def prefix_rows(self) -> tuple:
+        """``(rows, penalty)`` for caller-maintained incremental sweeps.
+
+        ``rows`` is the plain ``(values_list, length, label)`` form of the
+        bank.  A streaming consumer that extends a partial pattern one
+        value at a time can keep a running distance per row — adding
+        ``|x - values[w]|`` while ``w < length`` and ``penalty`` beyond —
+        and read the winner in O(bank) per window instead of re-sweeping
+        the whole prefix.
+        """
+        if not self._signatures:
+            raise ValueError("empty signature bank")
+        return self._signature_rows(), self._penalty
+
+    def nearest_label(self, partial_values) -> Optional[str]:
+        """Label of the best-matching signature, skipping runner-up scoring.
+
+        The streaming pipeline polls this once per completed window until
+        its label streak commits; it needs only the winner, so the
+        runner-up sweep and match-record construction of :meth:`match`
+        are dead weight on that path.  Tie-breaking is the same first-
+        minimum rule as :meth:`match`.
+
+        Small "variation" banks (the streaming case: a handful of short
+        signatures) are swept in plain Python — at those sizes interpreter
+        arithmetic beats numpy dispatch by an order of magnitude, and the
+        partial (a growing Python list on the streaming path) never has to
+        become an array.
+        """
+        if not self._signatures:
+            raise ValueError("empty signature bank")
+        width = len(partial_values)
+        if width == 0:
+            raise ValueError("empty partial pattern")
+        if self._method != "variation":
+            return self.match(partial_values).signature.label
+        rows = self._signature_rows()
+        if len(rows) * width > 2048:
+            partial = np.asarray(partial_values, dtype=float)
+            best = int(np.argmin(self._variation_distances(partial)))
+            return self._signatures[best].label
+        penalty = self._penalty
+        best_label: Optional[str] = None
+        best = float("inf")
+        for values, length, label in rows:
+            total = 0.0
+            for x, s in zip(partial_values, values):
+                d = x - s
+                total += d if d >= 0.0 else -d
+            if width > length:
+                total += (width - length) * penalty
+            if total < best:
+                best = total
+                best_label = label
+        return best_label
 
     def predict_cpu_above(self, partial_values, threshold_us: float) -> bool:
         """Predict whether the request's CPU usage will exceed ``threshold_us``."""
         return self.identify(partial_values).cpu_time_us > threshold_us
+
+    # -- checkpointing ---------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-ready snapshot (floats round-trip exactly through json)."""
+        return {
+            "penalty": self._penalty,
+            "method": self._method,
+            "signatures": [
+                {
+                    "values": [float(v) for v in s.values],
+                    "cpu_time_us": s.cpu_time_us,
+                    "label": s.label,
+                }
+                for s in self._signatures
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, engine: Optional[DistanceEngine] = None
+    ) -> "SignatureBank":
+        bank = cls(
+            penalty=float(state["penalty"]), method=state["method"], engine=engine
+        )
+        for entry in state["signatures"]:
+            bank.add(entry["values"], entry["cpu_time_us"], label=entry["label"])
+        return bank
 
 
 @dataclass

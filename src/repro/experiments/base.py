@@ -58,6 +58,7 @@ EXPERIMENTS = {
     "fig11": ("repro.experiments.fig11_prediction", "Figure 11: online behavior prediction RMS errors"),
     "fig12": ("repro.experiments.fig12_contention_reduction", "Figure 12: high-contention co-execution time"),
     "fig13": ("repro.experiments.fig13_cpi_scheduling", "Figure 13: request CPI under contention-easing scheduling"),
+    "stream": ("repro.experiments.stream_detection", "Streaming detection: online pipeline vs injected faults"),
 }
 
 

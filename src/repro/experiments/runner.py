@@ -163,8 +163,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (fig1..fig13, table1, table2, sec32) or 'all' "
-        "(mixable with explicit ids; duplicates run once)",
+        help="experiment ids (fig1..fig13, table1, table2, sec32, stream) "
+        "or 'all' (mixable with explicit ids; duplicates run once)",
     )
     parser.add_argument(
         "--scale",

@@ -184,6 +184,18 @@ class ServerSimulator:
         self.scheduler = config.scheduler or RoundRobinScheduler()
         self.rng = np.random.default_rng(config.seed)
         self.obs = config.collector if config.collector is not None else NULL_COLLECTOR
+        # Per-kind emission guards, precomputed so a kind-filtered
+        # collector skips even the keyword packing on its dense callsites.
+        obs = self.obs
+        self._trace_phase = obs.enabled and obs.wants("phase_transition")
+        self._trace_sample = obs.enabled and obs.wants("sample")
+        self._trace_enqueue = obs.enabled and obs.wants("task_enqueued")
+        self._trace_dispatch = obs.enabled and obs.wants("task_dispatched")
+        self._trace_switch_out = obs.enabled and obs.wants("task_switched_out")
+        self._trace_handoff = obs.enabled and obs.wants("stage_handoff")
+        self._trace_sched = obs.enabled and (
+            obs.wants("sched_avoidance") or obs.wants("sched_preempt")
+        )
         self.tracker = RequestTracker(
             cost_model=config.cost_model,
             frequency_ghz=self.machine.frequency_ghz,
@@ -355,7 +367,7 @@ class ServerSimulator:
                 ):
                     self._sample(core, SamplingContext.IN_KERNEL)
             task.enter_next_phase()
-            if self.obs.enabled:
+            if self._trace_phase:
                 self.obs.emit(
                     "phase_transition",
                     self.now,
@@ -395,7 +407,7 @@ class ServerSimulator:
             core.next_resched = self.now + self._resched_cycles
             return
         incoming = self.runqueues[core_id].pop(idx)
-        if self.obs.enabled:
+        if self._trace_sched:
             self.obs.emit(
                 "sched_preempt",
                 self.now,
@@ -436,6 +448,8 @@ class ServerSimulator:
                 request_id=spec.request_id,
                 app=spec.app,
                 request_kind=spec.kind,
+                total_instructions=int(spec.total_instructions),
+                injected_fault=spec.metadata.get("injected_fault"),
             )
         self._enqueue_stage(spec, stage_index=0)
 
@@ -471,7 +485,7 @@ class ServerSimulator:
             enqueue_cycle=self.now,
         )
         self._next_task_id += 1
-        if self.obs.enabled:
+        if self._trace_enqueue:
             self.obs.emit(
                 "task_enqueued",
                 self.now,
@@ -509,7 +523,7 @@ class ServerSimulator:
         next_stage = task.stage_index + 1
         source = self.machine.bus_domain_of(core.state.core_id)
         target = self._machine_of_tier(task.request.stages[next_stage].tier)
-        if self.obs.enabled:
+        if self._trace_handoff:
             self.obs.emit(
                 "stage_handoff",
                 self.now,
@@ -560,7 +574,7 @@ class ServerSimulator:
             self._clear_core(core)
             return
         task = self.runqueues[core_id].pop(idx)
-        if idx != 0 and self.obs.enabled:
+        if idx != 0 and self._trace_sched:
             # A non-head pick is a contention-easing avoidance decision.
             self.obs.emit(
                 "sched_avoidance",
@@ -581,7 +595,7 @@ class ServerSimulator:
         core.next_ratecall = _INF
 
     def _switch_in(self, core: _CoreRun, task: Task) -> None:
-        if self.obs.enabled:
+        if self._trace_dispatch:
             self.obs.emit(
                 "task_dispatched",
                 self.now,
@@ -658,7 +672,7 @@ class ServerSimulator:
         task = core.task
         if task is None:
             raise RuntimeError("switch_out on idle core")
-        if self.obs.enabled:
+        if self._trace_switch_out:
             self.obs.emit(
                 "task_switched_out",
                 self.now,
@@ -700,7 +714,7 @@ class ServerSimulator:
     def _sample(self, core: _CoreRun, context: SamplingContext) -> None:
         """Take one counter sample on a busy core (non-mandatory)."""
         task = core.task
-        if self.obs.enabled:
+        if self._trace_sample:
             self.obs.emit(
                 "sample",
                 self.now,

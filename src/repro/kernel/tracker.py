@@ -257,6 +257,10 @@ class RequestTracker:
         self._frequency_ghz = frequency_ghz
         self._open: Dict[int, _OpenRequest] = {}
         self._obs = collector if collector is not None else NULL_COLLECTOR
+        # Precomputed per-kind guards: a kind-filtered collector skips
+        # even the keyword packing on the dense emission sites.
+        self._emit_syscall = self._obs.enabled and self._obs.wants("syscall")
+        self._emit_period = self._obs.enabled and self._obs.wants("period_sample")
 
     def start_request(self, spec: RequestSpec, arrival_cycle: float) -> None:
         if spec.request_id in self._open:
@@ -265,17 +269,35 @@ class RequestTracker:
 
     def record_syscall(self, request_id: int, cycle: float, name: str) -> None:
         self._open[request_id].syscalls.append((cycle, name))
-        if self._obs.enabled:
+        if self._emit_syscall:
             self._obs.emit("syscall", cycle, request_id=request_id, name=name)
 
     def close_period(self, request_id: int, period: PeriodRecord) -> None:
         """Attribute a finished execution period to its request.
 
-        Periods with no measurable activity are dropped.
+        Periods with no measurable activity are dropped.  Kept periods are
+        also emitted as ``period_sample`` events carrying the raw counter
+        deltas plus injected-sample counts — the per-request sample stream
+        the online pipeline (:mod:`repro.online`) consumes.
         """
         if period.counters.cycles <= 0 and period.counters.instructions <= 0:
             return
         self._open[request_id].periods.append(period)
+        if self._emit_period:
+            counters = period.counters
+            self._obs.emit(
+                "period_sample",
+                period.end_cycle,
+                request_id=request_id,
+                core=period.core,
+                start_cycle=period.start_cycle,
+                instructions=counters.instructions,
+                cycles=counters.cycles,
+                l2_refs=counters.l2_refs,
+                l2_misses=counters.l2_misses,
+                injected_in_kernel=period.injected_in_kernel,
+                injected_interrupt=period.injected_interrupt,
+            )
 
     def finish_request(self, request_id: int, completion_cycle: float) -> RequestTrace:
         open_req = self._open.pop(request_id)

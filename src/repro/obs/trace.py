@@ -43,6 +43,7 @@ EVENT_KINDS = (
     "phase_transition",
     "syscall",
     "sample",
+    "period_sample",
     "stage_handoff",
     "sched_avoidance",
     "sched_preempt",
@@ -53,7 +54,7 @@ EVENT_KINDS = (
 _KIND_SET = frozenset(EVENT_KINDS)
 
 
-@dataclass
+@dataclass(slots=True)
 class ObsEvent:
     """One structured trace record."""
 
@@ -133,21 +134,68 @@ class TraceCollector:
 
     ``capacity`` bounds memory; once full, the oldest events are dropped
     (and counted in :attr:`dropped`) — the standard trade-off of long-term
-    low-overhead event monitoring.  ``capacity=None`` keeps everything.
+    low-overhead event monitoring.  ``capacity=None`` keeps everything;
+    ``capacity=0`` retains nothing (dispatch-only): events flow to
+    subscribers and are released immediately, so a pure streaming consumer
+    never grows the garbage-collector's tracked population.
+
+    ``kinds`` restricts collection to a subset of :data:`EVENT_KINDS`:
+    emissions of any other kind return before an event record is even
+    built.  Production-style online consumers (the streaming pipeline)
+    attach with exactly the kinds they process, which keeps the per-event
+    tax proportional to the analysis actually running instead of to the
+    simulator's full instrumentation density.
     """
 
     #: Emission guard checked by instrumented hot paths.
     enabled = True
 
-    def __init__(self, capacity: Optional[int] = 1_000_000):
-        if capacity is not None and capacity < 1:
-            raise ValueError("capacity must be positive (or None for unbounded)")
+    def __init__(
+        self,
+        capacity: Optional[int] = 1_000_000,
+        kinds: Optional[Iterable[str]] = None,
+    ):
+        if capacity is not None and capacity < 0:
+            raise ValueError(
+                "capacity must be >= 0 (0 = dispatch-only, None = unbounded)"
+            )
+        if kinds is not None:
+            kinds = frozenset(kinds)
+            unknown = kinds - _KIND_SET
+            if unknown:
+                raise ValueError(f"unknown event kinds {sorted(unknown)}")
         self.capacity = capacity
+        self.kinds = kinds
         self._events: deque = deque(maxlen=capacity)
         self._seq = 0
         self.dropped = 0
+        self._subscribers: List = []
 
     # -- emission -------------------------------------------------------
+
+    def wants(self, kind: str) -> bool:
+        """Whether this collector keeps events of ``kind``.
+
+        Instrumented hot paths precompute ``enabled and wants(kind)`` per
+        callsite so a kind-filtered collector costs nothing — not even
+        keyword-argument packing — on the kinds it ignores.
+        """
+        return self.kinds is None or kind in self.kinds
+
+    def subscribe(self, callback) -> None:
+        """Register a live consumer called with every emitted :class:`ObsEvent`.
+
+        Subscribers see events in emission order, synchronously and before
+        ring-buffer eviction can drop them — the hook the streaming online
+        pipeline (:mod:`repro.online`) attaches to.  Callbacks must not
+        mutate simulated state.
+        """
+        if not callable(callback):
+            raise TypeError("subscriber must be callable")
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        self._subscribers.remove(callback)
 
     def emit(
         self,
@@ -158,22 +206,33 @@ class TraceCollector:
         core: Optional[int] = None,
         **data,
     ) -> None:
-        if kind not in _KIND_SET:
+        kinds = self.kinds
+        if kinds is not None and kind not in kinds:
+            # kinds is validated at construction, so a filtered-out kind
+            # still needs the unknown-kind check before being ignored.
+            if kind not in _KIND_SET:
+                raise ValueError(f"unknown event kind {kind!r}")
+            return
+        if kinds is None and kind not in _KIND_SET:
             raise ValueError(f"unknown event kind {kind!r}")
-        if self.capacity is not None and len(self._events) == self.capacity:
+        events = self._events
+        # Ring eviction counts as a drop; dispatch-only (capacity=0)
+        # retention is by design, not data loss.
+        if self.capacity and len(events) == self.capacity:
             self.dropped += 1
-        self._events.append(
-            ObsEvent(
-                seq=self._seq,
-                cycle=float(cycle),
-                kind=kind,
-                request_id=request_id,
-                task_id=task_id,
-                core=core,
-                data=data,
-            )
+        event = ObsEvent(
+            seq=self._seq,
+            cycle=float(cycle),
+            kind=kind,
+            request_id=request_id,
+            task_id=task_id,
+            core=core,
+            data=data,
         )
+        events.append(event)
         self._seq += 1
+        for callback in self._subscribers:
+            callback(event)
 
     def clear(self) -> None:
         self._events.clear()
@@ -244,6 +303,15 @@ class NullCollector(TraceCollector):
 
     def emit(self, kind, cycle, request_id=None, task_id=None, core=None, **data):
         return None
+
+    def wants(self, kind: str) -> bool:
+        return False
+
+    def subscribe(self, callback) -> None:
+        raise ValueError(
+            "cannot subscribe to the disabled collector; pass a real "
+            "TraceCollector to SimConfig(collector=...) for live streaming"
+        )
 
 
 #: Shared no-op collector used by the simulator when tracing is off.

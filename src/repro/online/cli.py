@@ -1,0 +1,222 @@
+"""The ``repro-online`` command: streaming analysis of a simulated run.
+
+Live mode attaches an :class:`~repro.online.pipeline.OnlinePipeline` to the
+simulator's event stream as it runs::
+
+    repro-online tpcc --requests 80 --faults lock_stall:0.2 --train 30
+    repro-online tpcc --requests 60 --faults slowdown:0.15 \\
+        --report report.json --checkpoint state.json --events-out run.jsonl
+
+Replay mode re-processes a recorded event stream, optionally resuming from
+a mid-stream checkpoint (decisions are byte-identical either way)::
+
+    repro-online tpcc --events run.jsonl --restore state.json --report r.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.kernel.sampling import SamplingPolicy
+from repro.kernel.simulator import ServerSimulator, SimConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceCollector, load_events, save_events
+from repro.online.checkpoint import load_checkpoint, save_checkpoint
+from repro.online.pipeline import (
+    SUBSCRIBED_KINDS,
+    OnlineConfig,
+    OnlinePipeline,
+    train_identifier,
+)
+from repro.online.report import build_report
+from repro.workloads.registry import (
+    SERVER_APPS,
+    available_workloads,
+    make_faulted_workload,
+    make_workload,
+    parse_fault_spec,
+)
+
+
+def fault_spec(text: str) -> str:
+    """argparse type for ``--faults``: validate, keep the raw spec."""
+    try:
+        parse_fault_spec(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return text
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text!r}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text!r}")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-online",
+        description="Stream a simulated run through the online analysis "
+        "pipeline (identification, prediction, anomaly detection)",
+    )
+    parser.add_argument("workload", help=f"one of {', '.join(SERVER_APPS)}")
+    parser.add_argument(
+        "--requests", type=_positive_int, default=60,
+        help="requests to simulate in live mode (default 60)",
+    )
+    parser.add_argument("--concurrency", type=_positive_int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--faults", type=fault_spec, default=None, metavar="KIND:RATE",
+        help="inject ground-truth faults, e.g. lock_stall:0.2 "
+        "(kinds: lock_stall, cache_thrash, slowdown; rate in [0,1])",
+    )
+    parser.add_argument(
+        "--train", type=_non_negative_int, default=24, metavar="N",
+        help="calibration requests (clean workload, offset seed) used to "
+        "fit the signature bank; 0 disables the identification stage "
+        "(default 24)",
+    )
+    parser.add_argument(
+        "--window", type=float, default=100_000.0,
+        help="pattern window in instructions (default 100000)",
+    )
+    parser.add_argument(
+        "--quantile", type=float, default=0.9,
+        help="adaptive anomaly threshold quantile in (0,1) (default 0.9)",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH",
+        help="write the scored detection report as canonical JSON",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="write a versioned pipeline checkpoint after the run",
+    )
+    parser.add_argument(
+        "--events", metavar="PATH",
+        help="replay a recorded obs JSONL stream instead of simulating",
+    )
+    parser.add_argument(
+        "--restore", metavar="PATH",
+        help="resume from a checkpoint before replaying (requires --events)",
+    )
+    parser.add_argument(
+        "--events-out", metavar="PATH",
+        help="record the live run's event stream as JSONL (for replay)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the online pipeline's metrics snapshot to this JSON file",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.restore and not args.events:
+        parser.error("--restore requires --events (replay mode)")
+    if args.events_out and args.events:
+        parser.error("--events-out only applies to live runs")
+    if not 0.0 < args.quantile < 1.0:
+        parser.error("--quantile must be in (0, 1)")
+    if args.window <= 0:
+        parser.error("--window must be positive")
+    if args.workload not in available_workloads():
+        print(
+            f"unknown workload {args.workload!r}; "
+            f"available: {', '.join(available_workloads())}",
+            file=sys.stderr,
+        )
+        return 2
+
+    registry = MetricsRegistry()
+
+    if args.events:
+        events, _ = load_events(args.events)
+        if args.restore:
+            pipeline = load_checkpoint(args.restore, registry=registry)
+        else:
+            pipeline = _fresh_pipeline(args, registry)
+        pipeline.process_events(events)
+    else:
+        pipeline = _fresh_pipeline(args, registry)
+        workload = (
+            make_faulted_workload(args.workload, args.faults)
+            if args.faults
+            else make_workload(args.workload)
+        )
+        # Dispatch-only unless the subscribed event stream is being kept
+        # for export (--events-out needs the buffered records).
+        collector = TraceCollector(
+            capacity=None if args.events_out else 0, kinds=SUBSCRIBED_KINDS
+        )
+        collector.subscribe(pipeline.process_event)
+        config = SimConfig(
+            sampling=SamplingPolicy.interrupt(workload.sampling_period_us),
+            num_requests=args.requests,
+            concurrency=min(args.concurrency, args.requests),
+            seed=args.seed,
+            collector=collector,
+        )
+        ServerSimulator(workload, config).run()
+        if args.events_out:
+            save_events(collector, args.events_out)
+            print(f"event stream written to {args.events_out}")
+
+    report = build_report(pipeline)
+    print(report.render())
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+        print(f"report written to {args.report}")
+    if args.checkpoint:
+        save_checkpoint(pipeline, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}")
+    if args.metrics_out:
+        registry.write_json(
+            args.metrics_out,
+            extra={"workload": args.workload, "seed": args.seed},
+        )
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _fresh_pipeline(args, registry) -> OnlinePipeline:
+    config = OnlineConfig(
+        window_instructions=float(args.window),
+        anomaly_quantile=args.quantile,
+    )
+    identifier = None
+    if args.train > 0:
+        # The signature bank must come from unperturbed traffic, and from a
+        # different seed than the streamed run (no training-set leakage).
+        identifier = train_identifier(
+            make_workload(args.workload),
+            num_requests=args.train,
+            seed=args.seed + 10_000,
+            metric=config.identify_metric,
+            window_instructions=config.window_instructions,
+        )
+    return OnlinePipeline(config=config, identifier=identifier, registry=registry)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,9 @@ from repro.workloads.microbench import MbenchData, MbenchSpin
 from repro.workloads.registry import (
     FixedKindWorkload,
     available_workloads,
+    make_faulted_workload,
     make_workload,
+    parse_fault_spec,
 )
 from repro.workloads.rubis import RubisWorkload
 from repro.workloads.tpcc import TpccWorkload
@@ -40,5 +42,7 @@ __all__ = [
     "WebServerWorkload",
     "WorkloadGenerator",
     "available_workloads",
+    "make_faulted_workload",
     "make_workload",
+    "parse_fault_spec",
 ]

@@ -56,6 +56,10 @@ class FaultInjectingWorkload:
     def sampling_period_us(self) -> float:
         return self.inner.sampling_period_us
 
+    @property
+    def window_instructions(self) -> float:
+        return self.inner.window_instructions
+
     def sample_request(self, rng: np.random.Generator, request_id: int) -> RequestSpec:
         spec = self.inner.sample_request(rng, request_id)
         if rng.random() >= self.fault_probability:

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.obs.profiling import profiled_stage
+from repro.workloads.faults import FAULT_KINDS, FaultInjectingWorkload
 from repro.workloads.microbench import MbenchData, MbenchSpin
 from repro.workloads.rubis import RubisWorkload
 from repro.workloads.tpcc import TpccWorkload
@@ -39,6 +42,38 @@ def make_workload(name: str):
         ) from None
     with profiled_stage("generate"):
         return factory()
+
+
+def parse_fault_spec(text: str) -> Tuple[str, float]:
+    """Parse a ``kind:rate`` fault spec (e.g. ``lock_stall:0.2``).
+
+    The CLI's ``--faults`` flag routes through this, so malformed specs
+    fail with a message naming the valid kinds and the rate domain.
+    """
+    kind, sep, rate_text = text.partition(":")
+    if not sep:
+        raise ValueError(
+            f"fault spec {text!r} must be kind:rate (e.g. lock_stall:0.2)"
+        )
+    if kind not in FAULT_KINDS:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}"
+        )
+    try:
+        rate = float(rate_text)
+    except ValueError:
+        raise ValueError(f"fault rate {rate_text!r} is not a number") from None
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"fault rate {rate} must be in [0, 1]")
+    return kind, rate
+
+
+def make_faulted_workload(name: str, fault_spec: str) -> FaultInjectingWorkload:
+    """Instantiate a workload with ground-truth fault injection."""
+    kind, rate = parse_fault_spec(fault_spec)
+    return FaultInjectingWorkload(
+        inner=make_workload(name), fault_probability=rate, fault_kind=kind
+    )
 
 
 class FixedKindWorkload:

@@ -71,6 +71,53 @@ class TestIdentification:
         assert ident.identify(pattern[:2]).predicted_cpu_time_us > 0
 
 
+class TestNoEvidence:
+    """Regression: an empty partial pattern is valid online input (a request
+    that has not executed a full window yet), not an error."""
+
+    @pytest.fixture()
+    def fitted(self, web_run):
+        return OnlineIdentifier(window_instructions=10_000).fit(web_run.traces)
+
+    def test_empty_pattern_returns_defined_identification(self, fitted):
+        result = fitted.identify([])
+        assert result.has_evidence is False
+        assert result.windows_used == 0
+        assert result.matched_label is None
+        # Falls back to the no-information prior: CPU time at the
+        # population threshold, classified cheap.
+        assert result.predicted_cpu_time_us == fitted.threshold_us
+        assert result.predicted_expensive is False
+        assert np.isfinite(result.predicted_cpu_time_us)
+
+    def test_empty_ndarray_equivalent(self, fitted):
+        assert fitted.identify(np.array([])).has_evidence is False
+
+    def test_nonempty_pattern_has_evidence(self, fitted, web_run):
+        pattern = fitted.pattern_of(web_run.traces[0])
+        assert fitted.identify(pattern[:1]).has_evidence is True
+
+    def test_match_returns_none_on_empty(self, fitted):
+        assert fitted.match([]) is None
+
+    def test_match_scores_best_and_runner_up(self, fitted, web_run):
+        pattern = fitted.pattern_of(web_run.traces[0])
+        match = fitted.match(pattern[:3])
+        assert match.distance <= match.runner_up_distance
+        assert match.margin >= 0.0
+        assert match.signature.label == fitted.identify(pattern[:3]).matched_label
+
+    def test_state_round_trip_preserves_decisions(self, fitted, web_run):
+        restored = OnlineIdentifier.from_state(fitted.to_state())
+        assert restored.threshold_us == fitted.threshold_us
+        for trace in web_run.traces[:5]:
+            pattern = fitted.pattern_of(trace)[:4]
+            assert (
+                restored.identify(pattern).matched_label
+                == fitted.identify(pattern).matched_label
+            )
+
+
 class TestCrossKindDiscrimination:
     def test_tpcc_kinds_identified(self, tpcc_run):
         """With the CPI metric, the matched label usually recovers the

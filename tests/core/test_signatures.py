@@ -70,6 +70,81 @@ class TestSignatureBank:
     def test_len(self):
         assert len(make_bank()) == 2
 
+    def test_vectorized_sweep_matches_l1_distance(self):
+        """The streaming fast path must agree with Equation 2 exactly,
+        including the penalty for partials outrunning short signatures."""
+        from repro.core.distances import l1_distance
+
+        rng = np.random.default_rng(5)
+        bank = SignatureBank(penalty=0.37)
+        signatures = [rng.uniform(0, 4, size=n) for n in (3, 7, 12, 12, 5)]
+        for i, values in enumerate(signatures):
+            bank.add(values, cpu_time_us=float(i))
+        for w in (1, 3, 5, 7, 12, 20):
+            partial = rng.uniform(0, 4, size=w)
+            expected = [
+                l1_distance(partial, s[:w], penalty=0.37) for s in signatures
+            ]
+            got = bank._variation_distances(partial)
+            np.testing.assert_allclose(got, expected, rtol=1e-12)
+            match = bank.match(partial)
+            assert match.index == int(np.argmin(expected))
+            assert match.distance == got[match.index]
+
+
+class TestNearestLabel:
+    def test_agrees_with_match_small_bank(self):
+        """The pure-Python streaming sweep picks the same winner as match()."""
+        rng = np.random.default_rng(7)
+        bank = SignatureBank(penalty=0.41)
+        for i, n in enumerate((3, 7, 12, 12, 5)):
+            bank.add(rng.uniform(0, 4, size=n), cpu_time_us=1.0, label=f"s{i}")
+        for w in (1, 4, 9, 15):
+            partial = list(rng.uniform(0, 4, size=w))
+            assert bank.nearest_label(partial) == bank.match(partial).signature.label
+
+    def test_agrees_with_match_above_numpy_threshold(self):
+        """Wide banks route through the vectorized sweep — same winner."""
+        rng = np.random.default_rng(8)
+        bank = SignatureBank(penalty=0.2)
+        for i in range(40):
+            bank.add(rng.uniform(0, 4, size=80), cpu_time_us=1.0, label=f"s{i}")
+        partial = rng.uniform(0, 4, size=60)   # 40 * 60 > 2048
+        assert bank.nearest_label(partial) == bank.match(partial).signature.label
+
+    def test_average_method_delegates(self):
+        bank = make_bank(method="average")
+        assert bank.nearest_label([3.0, 3.0]) == "spiky"
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError):
+            SignatureBank(penalty=1.0).nearest_label([1.0])
+        with pytest.raises(ValueError):
+            make_bank().nearest_label([])
+
+
+class TestPrefixRows:
+    def test_incremental_sweep_reproduces_nearest_label(self):
+        """A caller-maintained running distance finds the same winner."""
+        rng = np.random.default_rng(9)
+        bank = SignatureBank(penalty=0.3)
+        for i, n in enumerate((4, 6, 9)):
+            bank.add(rng.uniform(0, 2, size=n), cpu_time_us=1.0, label=f"s{i}")
+        rows, penalty = bank.prefix_rows()
+        assert penalty == 0.3
+        dists = [0.0] * len(rows)
+        partial = []
+        for w, x in enumerate(rng.uniform(0, 2, size=11)):
+            partial.append(float(x))
+            for i, (values, length, _) in enumerate(rows):
+                dists[i] += abs(x - values[w]) if w < length else penalty
+            best = min(range(len(rows)), key=lambda i: dists[i])
+            assert rows[best][2] == bank.nearest_label(partial)
+
+    def test_empty_bank_raises(self):
+        with pytest.raises(ValueError):
+            SignatureBank(penalty=1.0).prefix_rows()
+
 
 class TestRecentPastPredictor:
     def test_none_before_observations(self):

@@ -52,12 +52,61 @@ class TestRingBuffer:
 
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError):
-            TraceCollector(capacity=0)
+            TraceCollector(capacity=-1)
+
+    def test_dispatch_only_retains_nothing(self):
+        collector = TraceCollector(capacity=0)
+        seen = []
+        collector.subscribe(seen.append)
+        _fill(collector, 5)
+        assert len(collector) == 0
+        assert collector.events == []
+        assert collector.emitted == 5
+        # Not retaining by design is not data loss.
+        assert collector.dropped == 0
+        assert [e.seq for e in seen] == [0, 1, 2, 3, 4]
 
     def test_unknown_kind_rejected(self):
         collector = TraceCollector()
         with pytest.raises(ValueError):
             collector.emit("not_a_kind", cycle=0.0)
+
+    def test_unknown_kind_rejected_even_when_filtered_out(self):
+        collector = TraceCollector(kinds={"sample"})
+        with pytest.raises(ValueError):
+            collector.emit("not_a_kind", cycle=0.0)
+
+
+class TestKindFilter:
+    def test_only_selected_kinds_collected(self):
+        collector = TraceCollector(kinds={"sample", "request_admitted"})
+        collector.emit("request_admitted", cycle=0.0, request_id=1)
+        collector.emit("phase_transition", cycle=1.0, request_id=1)
+        collector.emit("sample", cycle=2.0, request_id=1)
+        collector.emit("syscall", cycle=3.0, request_id=1)
+        assert [e.kind for e in collector.events] == ["request_admitted", "sample"]
+        # seq numbers only advance for collected events.
+        assert [e.seq for e in collector.events] == [0, 1]
+
+    def test_filtered_kinds_skip_subscribers(self):
+        collector = TraceCollector(kinds={"sample"})
+        seen = []
+        collector.subscribe(seen.append)
+        collector.emit("syscall", cycle=0.0)
+        collector.emit("sample", cycle=1.0)
+        assert [e.kind for e in seen] == ["sample"]
+
+    def test_unknown_kind_in_filter_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kinds"):
+            TraceCollector(kinds={"sample", "bogus"})
+
+    def test_wants(self):
+        unfiltered = TraceCollector()
+        assert unfiltered.wants("sample")
+        filtered = TraceCollector(kinds={"sample"})
+        assert filtered.wants("sample")
+        assert not filtered.wants("syscall")
+        assert not NULL_COLLECTOR.wants("sample")
 
 
 class TestNullCollector:
@@ -179,8 +228,66 @@ class TestMalformedInput:
             ObsEvent.from_dict({"seq": 0, "cycle": 1.0})
 
 
+class TestSubscribers:
+    def test_subscriber_sees_every_event_in_order(self):
+        collector = TraceCollector(capacity=5)
+        seen = []
+        collector.subscribe(seen.append)
+        _fill(collector, 12)
+        # The ring dropped events, but the live subscriber saw all of them.
+        assert len(seen) == 12
+        assert [e.seq for e in seen] == list(range(12))
+
+    def test_unsubscribe_stops_delivery(self):
+        collector = TraceCollector()
+        seen = []
+        collector.subscribe(seen.append)
+        _fill(collector, 3)
+        collector.unsubscribe(seen.append)
+        _fill(collector, 3)
+        assert len(seen) == 3
+
+    def test_multiple_subscribers(self):
+        collector = TraceCollector()
+        a, b = [], []
+        collector.subscribe(a.append)
+        collector.subscribe(b.append)
+        _fill(collector, 4)
+        assert [e.seq for e in a] == [e.seq for e in b] == [0, 1, 2, 3]
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            TraceCollector().subscribe("not-a-function")
+
+    def test_null_collector_rejects_subscription(self):
+        with pytest.raises(ValueError, match="disabled collector"):
+            NULL_COLLECTOR.subscribe(lambda e: None)
+
+
+class TestPeriodSampleEvents:
+    def test_simulator_emits_period_samples(self):
+        from tests.conftest import run_small
+
+        collector = TraceCollector()
+        run = run_small("tpcc", num_requests=5, seed=12, collector=collector)
+        periods = collector.events_of_kind("period_sample")
+        assert periods, "no period_sample events emitted"
+        # Every kept period of every trace appears in the stream.
+        assert len(periods) == sum(t.num_periods for t in run.traces)
+        sample = periods[0]
+        for key in ("instructions", "cycles", "l2_refs", "l2_misses",
+                    "injected_in_kernel", "injected_interrupt", "start_cycle"):
+            assert key in sample.data
+        # The final period of a request precedes its completion event.
+        completed = {e.request_id: e.seq
+                     for e in collector.events_of_kind("request_completed")}
+        for event in periods:
+            assert event.seq < completed[event.request_id]
+
+
 def test_event_kind_registry_is_closed():
     """Every kind used by the simulator is declared exactly once."""
     assert len(EVENT_KINDS) == len(set(EVENT_KINDS))
     assert "request_admitted" in EVENT_KINDS
     assert "request_completed" in EVENT_KINDS
+    assert "period_sample" in EVENT_KINDS

@@ -1,0 +1,34 @@
+"""Shared fixtures for the streaming-pipeline tests: one faulted live run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.sampling import SamplingPolicy
+from repro.kernel.simulator import ServerSimulator, SimConfig
+from repro.obs.trace import TraceCollector
+from repro.online.pipeline import OnlinePipeline, train_identifier
+from repro.workloads.registry import make_faulted_workload, make_workload
+
+
+@pytest.fixture(scope="session")
+def trained_identifier():
+    return train_identifier(make_workload("tpcc"), num_requests=12, seed=900)
+
+
+@pytest.fixture(scope="session")
+def streamed_run(trained_identifier):
+    """One live faulted TPCC run: (workload, events, live pipeline, result)."""
+    workload = make_faulted_workload("tpcc", "lock_stall:0.25")
+    collector = TraceCollector()
+    pipeline = OnlinePipeline(identifier=trained_identifier)
+    collector.subscribe(pipeline.process_event)
+    config = SimConfig(
+        sampling=SamplingPolicy.interrupt(workload.sampling_period_us),
+        num_requests=30,
+        concurrency=8,
+        seed=21,
+        collector=collector,
+    )
+    result = ServerSimulator(workload, config).run()
+    return workload, collector.events, pipeline, result

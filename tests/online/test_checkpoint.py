@@ -1,0 +1,107 @@
+"""Checkpoint/restore: the byte-identity contract and format validation."""
+
+import json
+
+import pytest
+
+from repro.online.checkpoint import (
+    CHECKPOINT_VERSION,
+    checkpoint_from_json,
+    checkpoint_to_json,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.online.pipeline import OnlinePipeline
+from repro.online.report import build_report
+
+
+def fresh_pipeline(trained_identifier):
+    """A pipeline whose identifier went through one state round trip, so
+    live and restored sides share identical serialized provenance."""
+    blob = checkpoint_to_json(OnlinePipeline(identifier=trained_identifier))
+    return checkpoint_from_json(blob)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("fraction", [0.25, 0.5, 0.9])
+    def test_mid_stream_restore_is_byte_identical(
+        self, streamed_run, trained_identifier, fraction
+    ):
+        """Kill at an arbitrary point, restore, replay the whole stream:
+        the final report and final checkpoint match an uninterrupted run."""
+        _, events, _, _ = streamed_run
+        uninterrupted = fresh_pipeline(trained_identifier)
+        uninterrupted.process_events(events)
+        reference_report = build_report(uninterrupted).to_json()
+        reference_state = checkpoint_to_json(uninterrupted)
+
+        cut = int(len(events) * fraction)
+        first_half = fresh_pipeline(trained_identifier)
+        first_half.process_events(events[:cut])
+        resumed = checkpoint_from_json(checkpoint_to_json(first_half))
+        # Full stream: the seq cursor must skip the already-folded prefix.
+        resumed.process_events(events)
+
+        assert build_report(resumed).to_json() == reference_report
+        assert checkpoint_to_json(resumed) == reference_state
+
+    def test_checkpoint_serialization_is_stable(
+        self, streamed_run, trained_identifier
+    ):
+        _, events, _, _ = streamed_run
+        pipeline = fresh_pipeline(trained_identifier)
+        pipeline.process_events(events[: len(events) // 3])
+        blob = checkpoint_to_json(pipeline)
+        assert checkpoint_to_json(checkpoint_from_json(blob)) == blob
+
+    def test_open_request_state_survives(self, streamed_run, trained_identifier):
+        """Cut inside an in-flight request: its windower fill, streaks, and
+        predictor estimate must survive the round trip."""
+        _, events, _, _ = streamed_run
+        pipeline = fresh_pipeline(trained_identifier)
+        cut = next(
+            i
+            for i, e in enumerate(events)
+            if e.kind == "period_sample" and i > len(events) // 4
+        )
+        pipeline.process_events(events[: cut + 1])
+        assert pipeline.open, "cut did not land inside any in-flight request"
+        restored = checkpoint_from_json(checkpoint_to_json(pipeline))
+        assert set(restored.open) == set(pipeline.open)
+        for rid, original in pipeline.open.items():
+            assert restored.open[rid].to_state() == original.to_state()
+
+
+class TestFileRoundTrip:
+    def test_save_load(self, streamed_run, trained_identifier, tmp_path):
+        _, events, _, _ = streamed_run
+        pipeline = fresh_pipeline(trained_identifier)
+        pipeline.process_events(events[: len(events) // 2])
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(pipeline, str(path))
+        restored = load_checkpoint(str(path))
+        assert checkpoint_to_json(restored) == checkpoint_to_json(pipeline)
+
+
+class TestValidation:
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="malformed"):
+            checkpoint_from_json("not json{")
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(ValueError, match="not a repro online checkpoint"):
+            checkpoint_from_json(json.dumps({"format": "something-else"}))
+
+    def test_rejects_future_version(self):
+        payload = {
+            "format": "repro-online-checkpoint",
+            "version": CHECKPOINT_VERSION + 1,
+            "state": {},
+        }
+        with pytest.raises(ValueError, match="unsupported checkpoint version"):
+            checkpoint_from_json(json.dumps(payload))
+
+    def test_pipeline_without_identifier_round_trips(self):
+        pipeline = OnlinePipeline()
+        restored = checkpoint_from_json(checkpoint_to_json(pipeline))
+        assert restored.identifier is None

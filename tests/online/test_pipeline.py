@@ -1,0 +1,124 @@
+"""End-to-end streaming pipeline behavior on a live faulted run."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_COLLECTOR
+from repro.online.pipeline import OnlineConfig, OnlinePipeline
+from repro.online.report import build_report
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(window_instructions=0)
+        with pytest.raises(ValueError):
+            OnlineConfig(commit_streak=0)
+        with pytest.raises(ValueError):
+            OnlineConfig(anomaly_quantile=1.0)
+        with pytest.raises(ValueError):
+            OnlineConfig(anomaly_margin=0.0)
+
+    def test_null_collector_rejects_subscribers(self):
+        pipeline = OnlinePipeline()
+        with pytest.raises(ValueError, match="disabled collector"):
+            NULL_COLLECTOR.subscribe(pipeline.process_event)
+
+
+class TestLiveRun:
+    def test_all_requests_complete(self, streamed_run):
+        _, _, pipeline, result = streamed_run
+        assert len(pipeline.records) == len(result.traces)
+        assert not pipeline.open  # everything closed out
+
+    def test_ground_truth_captured_from_events(self, streamed_run):
+        workload, _, pipeline, _ = streamed_run
+        flagged_truth = {
+            r["request_id"]
+            for r in pipeline.records
+            if r["injected_fault"] is not None
+        }
+        assert flagged_truth == workload.injected_ids
+        kinds = {r["injected_fault"] for r in pipeline.records} - {None}
+        assert kinds == {"lock_stall"}
+
+    def test_bounded_memory_pattern_cap(self, streamed_run):
+        _, _, pipeline, _ = streamed_run
+        cap = pipeline.config.max_windows
+        assert all(len(r.pattern) <= cap for r in pipeline.open.values())
+
+    def test_windows_match_trace_lengths(self, streamed_run):
+        """The streaming window count equals the offline per-trace count."""
+        _, _, pipeline, result = streamed_run
+        window = pipeline.config.window_instructions
+        offline = {
+            t.spec.request_id: t.series("cpi", window).values.size
+            for t in result.traces
+        }
+        for record in pipeline.records:
+            assert record["windows"] == offline[record["request_id"]]
+
+    def test_identification_commits_early_and_correctly(self, streamed_run):
+        _, _, pipeline, _ = streamed_run
+        committed = [
+            r for r in pipeline.records if r["committed_label"] is not None
+        ]
+        assert committed, "no request ever committed an identification"
+        correct = [r for r in committed if r["label_correct"]]
+        assert len(correct) / len(committed) >= 0.6
+        for record in committed:
+            assert record["commit_instructions"] <= record[
+                "instructions_observed"
+            ]
+
+    def test_replay_equals_live(self, streamed_run, trained_identifier):
+        _, events, live, _ = streamed_run
+        replayed = OnlinePipeline(identifier=trained_identifier)
+        replayed.process_events(events)
+        assert build_report(replayed).to_json() == build_report(live).to_json()
+
+    def test_events_are_idempotent_by_seq(self, streamed_run, trained_identifier):
+        _, events, live, _ = streamed_run
+        twice = OnlinePipeline(identifier=trained_identifier)
+        twice.process_events(events)
+        twice.process_events(events)  # duplicates skipped by cursor
+        assert build_report(twice).to_json() == build_report(live).to_json()
+
+
+class TestDetection:
+    def test_report_scores_against_ground_truth(self, streamed_run):
+        workload, _, pipeline, _ = streamed_run
+        report = build_report(pipeline)
+        s = report.summary
+        assert s["population"] == len(pipeline.records)
+        assert s["injected"] == len(workload.injected_ids)
+        assert 0.0 <= s["precision"] <= 1.0
+        assert 0.0 <= s["recall"] <= 1.0
+        if s["median_time_to_detect_instructions"] is not None:
+            assert s["median_time_to_detect_instructions"] > 0
+        assert s["periods"] == pipeline.periods_seen
+        assert report.to_json() == build_report(pipeline).to_json()
+
+    def test_render_mentions_key_numbers(self, streamed_run):
+        _, _, pipeline, _ = streamed_run
+        text = build_report(pipeline).render()
+        assert "precision=" in text and "recall=" in text
+        assert "median_ttd_ins=" in text
+
+
+class TestMetricsRegistry:
+    def test_counters_and_histograms_populated(self, streamed_run, trained_identifier):
+        _, events, _, _ = streamed_run
+        registry = MetricsRegistry()
+        pipeline = OnlinePipeline(
+            identifier=trained_identifier, registry=registry
+        )
+        pipeline.process_events(events)
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["online_periods"] == pipeline.periods_seen
+        assert counters["online_windows"] == pipeline.windows_seen
+        assert counters["online_requests_completed"] == len(pipeline.records)
+        assert "online_prediction_abs_error" in snapshot["histograms"]
+        assert "online_anomaly_score" in snapshot["histograms"]
+        assert snapshot["histograms"]["online_anomaly_score"]["count"] > 0

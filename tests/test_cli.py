@@ -173,6 +173,54 @@ class TestObservabilityFlags:
         )
 
 
+class TestFaultAndOnlineFlags:
+    def test_faults_flag_injects_and_reports(self, capsys):
+        assert main(
+            ["tpcc", "--requests", "8", "--seed", "4",
+             "--faults", "lock_stall:0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tpcc: 8 requests" in out
+
+    def test_online_flag_prints_scored_report(self, capsys):
+        assert main(
+            ["tpcc", "--requests", "8", "--seed", "4",
+             "--faults", "slowdown:0.5", "--online"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "online streaming report" in out
+        assert "precision=" in out and "recall=" in out
+
+    def test_online_checkpoint_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "ckpt.json"
+        assert main(
+            ["tpcc", "--requests", "6", "--seed", "4", "--online",
+             "--checkpoint", str(path)]
+        ) == 0
+        document = json.loads(path.read_text())
+        assert document["format"] == "repro-online-checkpoint"
+        assert document["state"]["last_seq"] >= 0
+
+    def test_checkpoint_without_online_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tpcc", "--checkpoint", "x.json"])
+        assert excinfo.value.code == 2
+        assert "--checkpoint requires --online" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "spec", ["lock_stall", "gremlins:0.2", "lock_stall:x", "lock_stall:2"]
+    )
+    def test_malformed_fault_spec_is_argparse_error(self, spec, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["tpcc", "--faults", spec])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+
 class TestArgumentValidation:
     """Malformed specs exit with an argparse error, not a raw traceback."""
 

@@ -76,6 +76,115 @@ class TestInjection:
         assert w.name == "tpcc+slowdown"
 
 
+class TestEdgeCases:
+    def test_rate_one_injects_everything(self):
+        w = FaultInjectingWorkload(make_workload("tpcc"), fault_probability=1.0)
+        specs = draw(w, 30, seed=2)
+        assert w.injected_ids == set(range(30))
+        assert all(s.metadata["injected_fault"] == "lock_stall" for s in specs)
+
+    def test_span_preserves_instruction_accounting(self):
+        """faulty_total == clean_total + span instructions, exactly."""
+        clean = make_workload("tpcc")
+        for kind in ("lock_stall", "cache_thrash"):
+            faulty = FaultInjectingWorkload(
+                make_workload("tpcc"), fault_probability=1.0, fault_kind=kind
+            )
+            for seed in range(5):
+                spec_clean = draw(clean, 1, seed=seed)[0]
+                spec_faulty = draw(faulty, 1, seed=seed)[0]
+                span = next(
+                    p for p in spec_faulty.phases() if p.name == f"fault_{kind}"
+                )
+                assert (
+                    spec_faulty.total_instructions
+                    == spec_clean.total_instructions + span.instructions
+                )
+
+    def test_span_inserted_exactly_once(self):
+        w = FaultInjectingWorkload(make_workload("tpcc"), fault_probability=1.0)
+        for seed in range(8):
+            spec = draw(w, 1, seed=seed)[0]
+            spans = [p for p in spec.phases() if p.name == "fault_lock_stall"]
+            assert len(spans) == 1
+
+    def test_position_at_phase_boundary_inserts_between_phases(self):
+        """A fault position landing exactly on a phase boundary must insert
+        the span right after that phase, keeping every original phase."""
+        clean = make_workload("tpcc")
+        spec = draw(clean, 1, seed=4)[0]
+        phases = list(spec.phases())
+        boundary = float(sum(p.instructions for p in phases[: len(phases) // 2]))
+
+        class _PinnedFault(FaultInjectingWorkload):
+            def _fault_position(self, spec, rng):
+                return boundary
+
+        w = _PinnedFault(make_workload("tpcc"), fault_probability=1.0)
+        spec_faulty = draw(w, 1, seed=4)[0]
+        names_clean = [p.name for p in phases]
+        names_faulty = [p.name for p in spec_faulty.phases()]
+        names_faulty.remove("fault_lock_stall")
+        assert names_faulty == names_clean
+        # The span sits immediately after the phase that crossed `boundary`.
+        faulty_phases = list(spec_faulty.phases())
+        span_index = next(
+            i for i, p in enumerate(faulty_phases) if p.name == "fault_lock_stall"
+        )
+        before = sum(p.instructions for p in faulty_phases[:span_index])
+        assert before == boundary
+
+    def test_position_at_request_end_still_inserts(self):
+        """A position at the very end (the >= comparison's far edge) must
+        not drop the span."""
+
+        class _EndFault(FaultInjectingWorkload):
+            def _fault_position(self, spec, rng):
+                return float(spec.total_instructions)
+
+        w = _EndFault(make_workload("tpcc"), fault_probability=1.0)
+        spec = draw(w, 1, seed=5)[0]
+        assert any(p.name == "fault_lock_stall" for p in spec.phases())
+
+    def test_stage_structure_preserved_with_spans(self):
+        clean = make_workload("tpcc")
+        w = FaultInjectingWorkload(make_workload("tpcc"), fault_probability=1.0)
+        spec_clean = draw(clean, 1, seed=6)[0]
+        spec_faulty = draw(w, 1, seed=6)[0]
+        assert [s.tier for s in spec_faulty.stages] == [
+            s.tier for s in spec_clean.stages
+        ]
+
+    def test_proxies_workload_surface(self):
+        inner = make_workload("tpcc")
+        w = FaultInjectingWorkload(inner, fault_probability=0.5)
+        assert w.sampling_period_us == inner.sampling_period_us
+        assert w.window_instructions == inner.window_instructions
+
+
+class TestRegistryWiring:
+    def test_parse_fault_spec(self):
+        from repro.workloads.registry import parse_fault_spec
+
+        assert parse_fault_spec("lock_stall:0.2") == ("lock_stall", 0.2)
+        assert parse_fault_spec("slowdown:1") == ("slowdown", 1.0)
+        for bad in ("lock_stall", "gremlins:0.2", "lock_stall:x",
+                    "lock_stall:1.5", "lock_stall:-0.1"):
+            with pytest.raises(ValueError):
+                parse_fault_spec(bad)
+
+    def test_make_faulted_workload(self):
+        from repro.workloads.registry import make_faulted_workload
+
+        w = make_faulted_workload("tpcc", "cache_thrash:0.4")
+        assert isinstance(w, FaultInjectingWorkload)
+        assert w.fault_kind == "cache_thrash"
+        assert w.fault_probability == 0.4
+        assert w.name == "tpcc+cache_thrash"
+        with pytest.raises(ValueError):
+            make_faulted_workload("nosuchapp", "lock_stall:0.2")
+
+
 class TestScore:
     def test_perfect_detection(self):
         s = score_detection({1, 2}, {1, 2}, population=10)
