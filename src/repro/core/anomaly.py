@@ -23,6 +23,19 @@ import numpy as np
 from repro.core.distengine import DistanceEngine, get_default_engine
 
 
+def _measure_key(distance: Callable, distance_key: Optional[str]) -> Optional[str]:
+    """Explicit cache key, else the one a kernel measure carries.
+
+    Batchable kernels (:class:`~repro.core.kernels.PenaltyDtw`) know
+    their own measure-and-parameter cache key; picking it up here means
+    anomaly scans are memoized without every caller re-deriving the key
+    string.
+    """
+    if distance_key is not None:
+        return distance_key
+    return getattr(distance, "distance_key", None)
+
+
 @dataclass(frozen=True)
 class AnomalyCase:
     """A suspected anomaly with its reference request."""
@@ -58,10 +71,13 @@ def detect_by_centroid_distance(
     ``sequences``; for every sufficiently large group the members with the
     highest distance to the group centroid are flagged, with the centroid
     as the reference.  The per-group matrices go through the distance
-    ``engine`` (serial by default).
+    ``engine``, which runs batchable measures
+    (:class:`~repro.core.kernels.PenaltyDtw`) through the vectorized
+    one-vs-many kernel instead of per-pair Python calls.
     """
     if engine is None:
         engine = get_default_engine()
+    distance_key = _measure_key(distance, distance_key)
     cases: List[AnomalyCase] = []
     for key, indices in groups.items():
         indices = list(indices)
@@ -121,6 +137,8 @@ def detect_multi_metric_pairs(
         return []
     if engine is None:
         engine = get_default_engine()
+    ref_distance_key = _measure_key(ref_distance, ref_distance_key)
+    cpi_distance_key = _measure_key(cpi_distance, cpi_distance_key)
 
     candidate_pairs = list(candidate_pairs)
     ref_d = engine.pair_distances(

@@ -102,15 +102,23 @@ def _k_medoids(
 
     medoids = _init_medoids(matrix, k, rng)
     labels = np.argmin(matrix[:, medoids], axis=1)
+    clusters = np.arange(k)
     for iteration in range(1, max_iterations + 1):
-        new_medoids = medoids.copy()
-        for cluster in range(k):
-            members = np.flatnonzero(labels == cluster)
-            if members.size == 0:
-                continue
-            # The centroid request: minimum summed distance to members.
-            within = matrix[np.ix_(members, members)].sum(axis=1)
-            new_medoids[cluster] = members[int(np.argmin(within))]
+        # The centroid request per cluster: minimum summed distance to
+        # members.  One grouped label-sum (matrix @ one-hot membership)
+        # replaces the per-cluster np.ix_ submatrix copies:
+        # member_sums[i, c] = sum of matrix[i, j] over members j of c.
+        membership = (labels == clusters[:, None]).T.astype(float)
+        member_sums = matrix @ membership
+        candidates = np.where(
+            labels[:, None] == clusters, member_sums, np.inf
+        )
+        # np.argmin picks the lowest index on ties — the same rule as the
+        # old per-cluster first-minimum scan over ascending member lists.
+        counts = np.bincount(labels, minlength=k)
+        new_medoids = np.where(
+            counts > 0, np.argmin(candidates, axis=0), medoids
+        )
         new_labels = np.argmin(matrix[:, new_medoids], axis=1)
         converged = np.array_equal(new_medoids, medoids) and np.array_equal(
             new_labels, labels
@@ -135,22 +143,31 @@ def silhouette_score(matrix: np.ndarray, result: KMedoidsResult) -> float:
     """
     matrix = np.asarray(matrix, dtype=float)
     n = matrix.shape[0]
-    labels = result.labels
-    clusters = {c: np.flatnonzero(labels == c) for c in np.unique(labels)}
-    if len(clusters) < 2:
+    labels = np.asarray(result.labels)
+    present = np.unique(labels)
+    if present.size < 2:
         raise ValueError("silhouette needs at least two clusters")
+    # Grouped label sums: member_sums[i, c] = sum of matrix[i, j] over
+    # members j of cluster c (one matmul instead of a per-request loop).
+    membership = (labels == present[:, None]).T.astype(float)
+    member_sums = matrix @ membership
+    counts = membership.sum(axis=0)
+    own_column = np.searchsorted(present, labels)
+    own_count = counts[own_column]
+    # a: mean distance to the own cluster's *other* members (the own row's
+    # diagonal term is excluded; it is zero for a distance matrix but is
+    # subtracted explicitly so arbitrary square inputs stay correct).
+    own_sums = member_sums[np.arange(n), own_column] - np.diagonal(matrix)
+    with np.errstate(invalid="ignore"):
+        a = own_sums / (own_count - 1)
+    # b: smallest mean distance to another cluster.
+    other_means = member_sums / counts
+    other_means[np.arange(n), own_column] = np.inf
+    b = other_means.min(axis=1)
+    denominator = np.maximum(a, b)
     scores = np.zeros(n)
-    for i in range(n):
-        own = clusters[labels[i]]
-        if own.size <= 1:
-            continue
-        a = matrix[i, own[own != i]].mean()
-        b = min(
-            matrix[i, members].mean()
-            for c, members in clusters.items()
-            if c != labels[i]
-        )
-        scores[i] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    valid = (own_count > 1) & (denominator > 0)  # singletons contribute 0
+    scores[valid] = (b[valid] - a[valid]) / denominator[valid]
     return float(scores.mean())
 
 

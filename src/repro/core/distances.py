@@ -89,11 +89,19 @@ def unequal_length_penalty(
     Drawn as the ``q``-percentile of the distribution of metric differences
     at two arbitrary points of application execution, estimated from the
     pooled per-window metric values of the workload.
+
+    Sampling is over *distinct* point pairs: a draw with ``i == j``
+    compares an execution point with itself and contributes an artificial
+    zero difference, which on small pools deflates the upper percentile —
+    with ``n`` pooled values a fraction ``1/n`` of naive draws is zero,
+    pulling the 99th percentile down to roughly the
+    ``(0.99 - 1/n) / (1 - 1/n)`` quantile of the true distribution.
     """
     values = np.asarray(sample_values, dtype=float)
     if values.size < 2:
         raise ValueError("need at least two sample values")
     i = rng.integers(values.size, size=n_pairs)
-    j = rng.integers(values.size, size=n_pairs)
+    # j uniform over the *other* indices: offset by 1..n-1 modulo n.
+    j = (i + rng.integers(1, values.size, size=n_pairs)) % values.size
     diffs = np.abs(values[i] - values[j])
     return float(np.percentile(diffs, q))

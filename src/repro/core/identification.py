@@ -149,6 +149,14 @@ class OnlineIdentifier:
             raise RuntimeError("identifier not fitted; call fit() first")
         return self._bank.prefix_rows()
 
+    def prefix_sweeper(self) -> tuple:
+        """``(sweeper, labels)`` for vectorized incremental prefix sweeps
+        over large banks (see
+        :meth:`repro.core.signatures.SignatureBank.prefix_sweeper`)."""
+        if not self.is_fitted:
+            raise RuntimeError("identifier not fitted; call fit() first")
+        return self._bank.prefix_sweeper()
+
     def identify_trace_prefix(self, trace, max_instructions: float) -> Identification:
         """Identify from the first ``max_instructions`` of a trace."""
         pattern = self.pattern_of(trace)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.distances import average_metric_distance
 from repro.core.distengine import DistanceEngine, get_default_engine
+from repro.core.kernels import PaddedBank, PrefixL1Sweeper, l1_prefix_distances
 
 
 @dataclass(frozen=True)
@@ -78,7 +79,7 @@ class SignatureBank:
         self._penalty = penalty
         self._method = method
         self._engine = engine if engine is not None else get_default_engine()
-        self._stack: Optional[tuple] = None
+        self._stack: Optional[PaddedBank] = None
         self._rows: Optional[list] = None
         if method == "variation":
             self._distance_key = f"sigbank-l1:p={penalty!r}"
@@ -98,33 +99,27 @@ class SignatureBank:
         self._stack = None
         self._rows = None
 
-    def _prefix_stack(self) -> tuple:
-        """Bank signatures stacked into one zero-padded matrix + lengths."""
+    def padded_bank(self) -> PaddedBank:
+        """Bank signatures as one shared pad-and-mask stack (cached).
+
+        The same :class:`~repro.core.kernels.PaddedBank` structure the
+        batched DTW kernels use; here it backs the vectorized L1 prefix
+        sweeps.
+        """
+        if not self._signatures:
+            raise ValueError("empty signature bank")
         if self._stack is None:
-            lengths = np.array([s.values.size for s in self._signatures])
-            matrix = np.zeros((len(self._signatures), int(lengths.max())))
-            for row, signature in zip(matrix, self._signatures):
-                row[: signature.values.size] = signature.values
-            self._stack = (matrix, lengths, np.arange(matrix.shape[1]))
+            self._stack = PaddedBank([s.values for s in self._signatures])
         return self._stack
 
     def _variation_distances(self, partial: np.ndarray) -> np.ndarray:
         """L1 prefix distances of ``partial`` against every bank signature.
 
-        One vectorized pass equivalent to ``l1_distance(partial,
-        s.values[:partial.size], penalty)`` per signature: the common
-        prefix contributes element-wise absolute differences and each
-        window of ``partial`` beyond a signature's end contributes the
-        unequal-length penalty.
+        One vectorized kernel pass equivalent to ``l1_distance(partial,
+        s.values[:partial.size], penalty)`` per signature (see
+        :func:`repro.core.kernels.l1_prefix_distances`).
         """
-        matrix, lengths, columns = self._prefix_stack()
-        width = min(partial.size, matrix.shape[1])
-        diff = np.abs(matrix[:, :width] - partial[:width])
-        if lengths.min() < width:
-            # Padding columns of shorter signatures must not contribute.
-            diff[columns[:width] >= lengths[:, None]] = 0.0
-        surplus = np.maximum(partial.size - lengths, 0)
-        return diff.sum(axis=1) + surplus * self._penalty
+        return l1_prefix_distances(self.padded_bank(), partial, self._penalty)
 
     def identify(self, partial_values) -> Signature:
         """Best-matching bank signature for a partial variation pattern.
@@ -197,6 +192,17 @@ class SignatureBank:
         if not self._signatures:
             raise ValueError("empty signature bank")
         return self._signature_rows(), self._penalty
+
+    def prefix_sweeper(self) -> tuple:
+        """``(sweeper, labels)`` for vectorized incremental prefix sweeps.
+
+        The numpy counterpart of :meth:`prefix_rows` for large banks: a
+        :class:`~repro.core.kernels.PrefixL1Sweeper` extends a running
+        per-signature distance vector in one O(bank) vectorized update
+        per window, bit-identical to the scalar accumulation.
+        """
+        sweeper = PrefixL1Sweeper(self.padded_bank(), self._penalty)
+        return sweeper, [s.label for s in self._signatures]
 
     def nearest_label(self, partial_values) -> Optional[str]:
         """Label of the best-matching signature, skipping runner-up scoring.

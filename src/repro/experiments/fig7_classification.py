@@ -36,7 +36,7 @@ from repro.core.distances import (
     levenshtein_distance,
     unequal_length_penalty,
 )
-from repro.core.dtw import dtw_distance
+from repro.core.kernels import PenaltyDtw
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import all_apps, scaled, simulate
 from repro.workloads.registry import make_workload
@@ -100,10 +100,12 @@ def classification_quality(
             lambda a, b: l1_distance(a, b, penalty=penalty),
             f"l1:p={penalty!r}",
         ),
-        "dtw": (cpi_series, lambda a, b: dtw_distance(a, b), "dtw:p=0"),
+        # PenaltyDtw measures route through the batched one-vs-many
+        # kernel inside the engine (bit-identical to per-pair DP calls).
+        "dtw": (cpi_series, PenaltyDtw(0.0), "dtw:p=0"),
         "dtw_penalty": (
             cpi_series,
-            lambda a, b: dtw_distance(a, b, asynchrony_penalty=penalty),
+            PenaltyDtw(penalty),
             f"dtw:p={penalty!r}",
         ),
     }

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.anomaly import detect_by_centroid_distance
 from repro.core.distances import unequal_length_penalty
-from repro.core.dtw import dtw_distance
+from repro.core.kernels import PenaltyDtw
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import scaled
 from repro.kernel.sampling import SamplingPolicy
@@ -89,7 +89,7 @@ def run(scale: float = 1.0, seed: int = 7) -> ExperimentResult:
     cases = detect_by_centroid_distance(
         groups={"Q20": group},
         sequences=cpi_series,
-        distance=lambda a, b: dtw_distance(a, b, asynchrony_penalty=penalty),
+        distance=PenaltyDtw(penalty),
         top_per_group=len(group) - 1,
     )
     # Centroid distance flags outliers on both sides (unlucky slow requests

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.anomaly import detect_multi_metric_pairs
 from repro.core.distances import unequal_length_penalty
-from repro.core.dtw import dtw_distance
+from repro.core.kernels import PenaltyDtw
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import scaled
 from repro.kernel.sampling import SamplingPolicy
@@ -55,8 +55,8 @@ def run(scale: float = 1.0, seed: int = 121) -> ExperimentResult:
     cases = detect_multi_metric_pairs(
         refs_series,
         cpi_series,
-        ref_distance=lambda a, b: dtw_distance(a, b, asynchrony_penalty=refs_penalty),
-        cpi_distance=lambda a, b: dtw_distance(a, b, asynchrony_penalty=cpi_penalty),
+        ref_distance=PenaltyDtw(refs_penalty),
+        cpi_distance=PenaltyDtw(cpi_penalty),
         ref_similarity_quantile=25.0,
         top_pairs=1,
     )

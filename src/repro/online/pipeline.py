@@ -34,6 +34,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.core.centroids import GroupCentroids
 from repro.core.identification import OnlineIdentifier
 from repro.core.prediction import VaEwma
@@ -49,6 +51,14 @@ from repro.online.windows import METRIC_INDICES, IncrementalWindower
 SUBSCRIBED_KINDS = frozenset(
     {"run_start", "request_admitted", "period_sample", "request_completed"}
 )
+
+#: Bank size at which the per-window identification sweep switches from
+#: the plain-Python accumulation to the vectorized
+#: :class:`~repro.core.kernels.PrefixL1Sweeper`.  Below this, interpreter
+#: arithmetic beats numpy dispatch; above it the O(bank) numpy update
+#: wins.  Both paths produce bit-identical distances, so the threshold
+#: never affects decisions.
+SWEEP_MIN_BANK = 64
 
 
 @dataclass(frozen=True)
@@ -133,9 +143,11 @@ class _OpenRequest:
         self.admitted_cycle = admitted_cycle
         self.windower = windower
         self.pattern: List[float] = []
-        # Running per-signature prefix distances; derived from `pattern`,
-        # so not checkpointed — rebuilt on the first poll after restore.
-        self.ident_dists: Optional[List[float]] = None
+        # Running per-signature prefix distances (a list on the Python
+        # path, an ndarray under the vectorized sweeper); derived from
+        # `pattern`, so not checkpointed — rebuilt on the first poll
+        # after restore.
+        self.ident_dists = None
         self.windows = 0
         self.streak_label: Optional[str] = None
         self.streak = 0
@@ -266,6 +278,10 @@ class OnlinePipeline:
         # Bank rows for the incremental identification sweep, fetched on
         # first use (the identifier may be attached before it is fitted).
         self._prefix_rows: Optional[tuple] = None
+        # Vectorized sweeper + labels, installed instead of the Python
+        # accumulation when the bank reaches SWEEP_MIN_BANK rows.
+        self._sweeper = None
+        self._sweep_labels: Optional[List[Optional[str]]] = None
         # Metric selectors resolved once to counter-tuple indices.
         self._identify_metric = METRIC_INDICES[self.config.identify_metric]
         self._predict_metric = METRIC_INDICES[self.config.predict_metric]
@@ -392,6 +408,10 @@ class OnlinePipeline:
             rows_penalty = self._prefix_rows
             if rows_penalty is None:
                 rows_penalty = self._prefix_rows = self.identifier.prefix_rows()
+                if len(rows_penalty[0]) >= SWEEP_MIN_BANK:
+                    self._sweeper, self._sweep_labels = (
+                        self.identifier.prefix_sweeper()
+                    )
             rows, penalty = rows_penalty
             pattern = request.pattern
             appended = False
@@ -402,35 +422,46 @@ class OnlinePipeline:
                 pattern.append(value)
                 appended = True
             dists = request.ident_dists
-            if dists is None:
-                # First poll, or first poll after a checkpoint restore:
-                # accumulate the whole pattern in the same element order
-                # the incremental updates use, so a restored run stays
-                # byte-identical to an uninterrupted one.
-                dists = request.ident_dists = [0.0] * len(rows)
-                for index, (values, length, _) in enumerate(rows):
-                    total = 0.0
-                    for w, x in enumerate(pattern):
+            sweeper = self._sweeper
+            if sweeper is not None:
+                # Large bank: vectorized O(bank) kernel update per window
+                # (bit-identical to the scalar accumulation below).
+                if dists is None:
+                    dists = request.ident_dists = sweeper.start(pattern)
+                elif appended:
+                    sweeper.extend(dists, len(pattern) - 1, value)
+                best = int(np.argmin(dists))
+            else:
+                if dists is None:
+                    # First poll, or first poll after a checkpoint
+                    # restore: accumulate the whole pattern in the same
+                    # element order the incremental updates use, so a
+                    # restored run stays byte-identical to an
+                    # uninterrupted one.
+                    dists = request.ident_dists = [0.0] * len(rows)
+                    for index, (values, length, _) in enumerate(rows):
+                        total = 0.0
+                        for w, x in enumerate(pattern):
+                            if w < length:
+                                d = x - values[w]
+                                total += d if d >= 0.0 else -d
+                            else:
+                                total += penalty
+                        dists[index] = total
+                elif appended:
+                    w = len(pattern) - 1
+                    for index, (values, length, _) in enumerate(rows):
                         if w < length:
-                            d = x - values[w]
-                            total += d if d >= 0.0 else -d
+                            d = value - values[w]
+                            dists[index] += d if d >= 0.0 else -d
                         else:
-                            total += penalty
-                    dists[index] = total
-            elif appended:
-                w = len(pattern) - 1
-                for index, (values, length, _) in enumerate(rows):
-                    if w < length:
-                        d = value - values[w]
-                        dists[index] += d if d >= 0.0 else -d
-                    else:
-                        dists[index] += penalty
-            best = 0
-            best_distance = dists[0]
-            for index in range(1, len(dists)):
-                if dists[index] < best_distance:
-                    best_distance = dists[index]
-                    best = index
+                            dists[index] += penalty
+                best = 0
+                best_distance = dists[0]
+                for index in range(1, len(dists)):
+                    if dists[index] < best_distance:
+                        best_distance = dists[index]
+                        best = index
             label = rows[best][2]
             if label == request.streak_label:
                 request.streak += 1

@@ -134,3 +134,18 @@ class TestUnequalLengthPenalty:
     def test_requires_two_values(self, rng):
         with pytest.raises(ValueError):
             unequal_length_penalty([1.0], rng)
+
+    def test_samples_distinct_pairs_only(self, rng):
+        # Regression: with the pool [0, 1] every *distinct* ordered pair
+        # differs by exactly 1, so any percentile of the pair-difference
+        # distribution is exactly 1.0.  Sampling that allowed i == j drew
+        # an artificial zero difference half the time here, collapsing
+        # the median (and deflating high percentiles on small pools).
+        assert unequal_length_penalty([0.0, 1.0], rng, q=50.0) == 1.0
+        assert unequal_length_penalty([0.0, 1.0], rng) == 1.0  # q=99
+
+    def test_deterministic_given_rng_state(self):
+        values = np.random.default_rng(3).normal(size=200)
+        first = unequal_length_penalty(values, np.random.default_rng(7))
+        second = unequal_length_penalty(values, np.random.default_rng(7))
+        assert first == second
