@@ -79,10 +79,18 @@ def k_medoids(
     k: int,
     rng: Optional[np.random.Generator] = None,
     max_iterations: int = 50,
+    initial_medoids: Optional[Sequence[int]] = None,
 ) -> KMedoidsResult:
-    """Cluster by iterative medoid refinement over a distance matrix."""
+    """Cluster by iterative medoid refinement over a distance matrix.
+
+    Seeding is greedy farthest-point from an rng-chosen start by default;
+    ``initial_medoids`` pins the seeds explicitly instead, which makes the
+    refinement a pure function of (matrix, seeds) — the metamorphic tests
+    use this to check permutation equivariance without the seeding's
+    positional rng draw getting in the way.
+    """
     with profiled_stage("cluster"):
-        return _k_medoids(matrix, k, rng, max_iterations)
+        return _k_medoids(matrix, k, rng, max_iterations, initial_medoids)
 
 
 def _k_medoids(
@@ -90,6 +98,7 @@ def _k_medoids(
     k: int,
     rng: Optional[np.random.Generator],
     max_iterations: int,
+    initial_medoids: Optional[Sequence[int]] = None,
 ) -> KMedoidsResult:
     matrix = np.asarray(matrix, dtype=float)
     n = matrix.shape[0]
@@ -100,7 +109,16 @@ def _k_medoids(
     if rng is None:
         rng = np.random.default_rng(0)
 
-    medoids = _init_medoids(matrix, k, rng)
+    if initial_medoids is not None:
+        medoids = np.asarray(initial_medoids, dtype=int)
+        if medoids.shape != (k,):
+            raise ValueError(f"initial_medoids must have length {k}")
+        if len(set(medoids.tolist())) != k:
+            raise ValueError("initial_medoids must be distinct")
+        if medoids.min() < 0 or medoids.max() >= n:
+            raise ValueError(f"initial_medoids must index [0, {n})")
+    else:
+        medoids = _init_medoids(matrix, k, rng)
     labels = np.argmin(matrix[:, medoids], axis=1)
     clusters = np.arange(k)
     for iteration in range(1, max_iterations + 1):
@@ -113,12 +131,17 @@ def _k_medoids(
         candidates = np.where(
             labels[:, None] == clusters, member_sums, np.inf
         )
-        # np.argmin picks the lowest index on ties — the same rule as the
-        # old per-cluster first-minimum scan over ascending member lists.
         counts = np.bincount(labels, minlength=k)
-        new_medoids = np.where(
-            counts > 0, np.argmin(candidates, axis=0), medoids
-        )
+        # Move a medoid only on *strict* improvement.  np.argmin breaks
+        # exact ties by position, and exact ties are common (both members
+        # of a two-point cluster tie by symmetry), so displacing the
+        # current medoid for an equal-cost member would make the result
+        # depend on input order.  Keeping the incumbent is position-free:
+        # the same rule under any permutation of the inputs.
+        best = np.argmin(candidates, axis=0)
+        incumbent_sums = candidates[medoids, clusters]
+        improved = candidates[best, clusters] < incumbent_sums
+        new_medoids = np.where((counts > 0) & improved, best, medoids)
         new_labels = np.argmin(matrix[:, new_medoids], axis=1)
         converged = np.array_equal(new_medoids, medoids) and np.array_equal(
             new_labels, labels

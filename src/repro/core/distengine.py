@@ -47,6 +47,7 @@ import numpy as np
 from repro.obs.profiling import profiled_stage
 
 __all__ = [
+    "ContentCache",
     "DistanceCache",
     "DistanceEngine",
     "default_cache_path",
@@ -104,18 +105,23 @@ def sequence_key(item) -> str:
     return h.hexdigest()
 
 
-class DistanceCache:
-    """Content-keyed memo cache: (distance key, operand hashes) -> distance.
+class ContentCache:
+    """Content-keyed memo cache persisted as a JSON document.
 
-    In-memory by default; pass ``path`` to persist as JSON.  ``load`` is
-    called by the constructor when the file exists; ``save`` writes
-    atomically (temp file + rename) and is invoked by the engine after
-    each computation that added entries.
+    In-memory by default; pass ``path`` to persist.  ``load`` is called by
+    the constructor when the file exists; ``save`` writes atomically (temp
+    file + rename).  A corrupt or unreadable cache file is a performance,
+    not a correctness, artifact: loading it silently starts empty.
+
+    Subclasses pin down the value type via :meth:`_encode` /
+    :meth:`_decode` — :class:`DistanceCache` stores floats, the sweep
+    orchestrator's :class:`~repro.sweep.cache.ScenarioCache` stores whole
+    result documents.
     """
 
     def __init__(self, path: Optional[str] = None):
         self.path = path
-        self._entries: Dict[str, float] = {}
+        self._entries: Dict[str, object] = {}
         self.hits = 0
         self.misses = 0
         self._dirty = False
@@ -126,13 +132,14 @@ class DistanceCache:
         return len(self._entries)
 
     @staticmethod
-    def entry_key(distance_key: str, key_a: str, key_b: str, ordered: bool) -> str:
-        """The cache key for one pair; unordered pairs are normalized."""
-        if not ordered and key_b < key_a:
-            key_a, key_b = key_b, key_a
-        return f"{distance_key}|{key_a}|{key_b}"
+    def _encode(value):
+        return value
 
-    def get(self, key: str) -> Optional[float]:
+    @staticmethod
+    def _decode(value):
+        return value
+
+    def get(self, key: str):
         value = self._entries.get(key)
         if value is None:
             self.misses += 1
@@ -140,8 +147,8 @@ class DistanceCache:
             self.hits += 1
         return value
 
-    def put(self, key: str, value: float) -> None:
-        self._entries[key] = float(value)
+    def put(self, key: str, value) -> None:
+        self._entries[key] = self._encode(value)
         self._dirty = True
 
     def load(self) -> None:
@@ -150,11 +157,9 @@ class DistanceCache:
                 payload = json.load(fh)
             entries = payload.get("entries", {})
             self._entries.update(
-                {str(k): float(v) for k, v in entries.items()}
+                {str(k): self._decode(v) for k, v in entries.items()}
             )
-        except (OSError, ValueError):
-            # A corrupt or unreadable cache is a performance, not a
-            # correctness, artifact: start empty.
+        except (OSError, ValueError, TypeError):
             pass
 
     def save(self) -> None:
@@ -173,6 +178,23 @@ class DistanceCache:
                 os.unlink(tmp)
             raise
         self._dirty = False
+
+
+class DistanceCache(ContentCache):
+    """Content-keyed memo cache: (distance key, operand hashes) -> distance.
+
+    The engine invokes ``save`` after each computation that added entries.
+    """
+
+    _encode = staticmethod(float)
+    _decode = staticmethod(float)
+
+    @staticmethod
+    def entry_key(distance_key: str, key_a: str, key_b: str, ordered: bool) -> str:
+        """The cache key for one pair; unordered pairs are normalized."""
+        if not ordered and key_b < key_a:
+            key_a, key_b = key_b, key_a
+        return f"{distance_key}|{key_a}|{key_b}"
 
 
 # Worker-process state, installed by the fork initializer.  With the fork

@@ -59,6 +59,7 @@ EXPERIMENTS = {
     "fig12": ("repro.experiments.fig12_contention_reduction", "Figure 12: high-contention co-execution time"),
     "fig13": ("repro.experiments.fig13_cpi_scheduling", "Figure 13: request CPI under contention-easing scheduling"),
     "stream": ("repro.experiments.stream_detection", "Streaming detection: online pipeline vs injected faults"),
+    "sweep": ("repro.experiments.sweep_grid", "Scenario sweep: cross-scenario overhead and detection grid"),
 }
 
 

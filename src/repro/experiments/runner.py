@@ -15,7 +15,9 @@ import argparse
 import inspect
 import json
 import multiprocessing
+import os
 import sys
+import tempfile
 import time
 
 from repro.experiments.base import EXPERIMENTS, get_experiment
@@ -40,6 +42,21 @@ def positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {text!r}")
     return value
+
+
+def _atomic_write(path: str, text: str) -> None:
+    """Replace ``path`` with ``text`` atomically (temp file + rename)."""
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except OSError:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 def normalize_experiment_ids(requested) -> list:
@@ -163,8 +180,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (fig1..fig13, table1, table2, sec32, stream) "
-        "or 'all' (mixable with explicit ids; duplicates run once)",
+        help="experiment ids (fig1..fig13, table1, table2, sec32, stream, "
+        "sweep) or 'all' (mixable with explicit ids; duplicates run once)",
     )
     parser.add_argument(
         "--scale",
@@ -186,7 +203,11 @@ def main(argv=None) -> int:
         "reruns skip recomputation",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
-    parser.add_argument("--out", help="also append rendered output to this file")
+    parser.add_argument(
+        "--out",
+        help="also write rendered output to this file (atomic replace; "
+        "concurrent runs cannot interleave)",
+    )
     parser.add_argument(
         "--profile",
         action="store_true",
@@ -228,8 +249,12 @@ def main(argv=None) -> int:
             "stages": result.stage_seconds,
         }
     if args.out:
-        with open(args.out, "a") as fh:
-            fh.write("\n\n".join(outputs) + "\n")
+        # Write-to-temp-then-rename: appending would interleave two runs
+        # sharing a report file, and a crash mid-write would leave a torn
+        # one.  The rename publishes the whole report or nothing.
+        _atomic_write(
+            args.out, "\n\n".join(o.rstrip("\n") for o in outputs) + "\n"
+        )
     if args.metrics_out:
         with open(args.metrics_out, "w") as fh:
             json.dump(metrics, fh, indent=2, sort_keys=True)

@@ -1,0 +1,41 @@
+"""Sharded, resumable scenario-sweep orchestration.
+
+Declare a grid (:class:`SweepSpec`), expand it into deterministic
+scenarios, execute them across forked shards with per-scenario timeout /
+retry / quarantine (:func:`run_sweep`), persist progress in a versioned
+canonical-JSON manifest (:class:`SweepManifest`) that survives ``SIGKILL``
+with byte-identical resumed results, and aggregate everything into a
+:class:`SweepReport`.  ``repro-sweep`` is the CLI; ``sweep`` the
+repro-experiments id.
+"""
+
+from repro.sweep.cache import ScenarioCache, default_scenario_cache_path
+from repro.sweep.executor import SweepOptions, run_sweep
+from repro.sweep.golden import golden_path, golden_scenario, regenerate_golden
+from repro.sweep.manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_VERSION,
+    SweepManifest,
+)
+from repro.sweep.report import SweepReport, build_report
+from repro.sweep.scenario import result_to_json, run_scenario
+from repro.sweep.spec import Scenario, SweepSpec
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "MANIFEST_VERSION",
+    "Scenario",
+    "ScenarioCache",
+    "SweepManifest",
+    "SweepOptions",
+    "SweepReport",
+    "SweepSpec",
+    "build_report",
+    "default_scenario_cache_path",
+    "golden_path",
+    "golden_scenario",
+    "regenerate_golden",
+    "result_to_json",
+    "run_scenario",
+    "run_sweep",
+]

@@ -1,0 +1,270 @@
+"""Sharded sweep execution: fork workers, timeouts, retries, quarantine.
+
+The executor walks a manifest's pending scenarios in plan order and
+settles each one: ``done`` with its result document, or — after a
+per-scenario timeout or ``retries`` additional failed attempts —
+``quarantined`` with the error, never aborting the rest of the sweep.
+The manifest is saved (atomically) after every settled scenario, so a
+``SIGKILL`` at any point loses at most the scenarios in flight; resuming
+re-plans from the embedded spec and re-runs exactly the pending ids.
+
+Parallel execution reuses the ``fork`` start-method pattern of
+:mod:`repro.core.distengine`: scenario descriptions travel to workers by
+address-space inheritance and only the result documents cross a pipe.
+Unlike the distance engine's pool, each scenario gets its *own* forked
+process — a timed-out or crashed scenario is killed without poisoning a
+shared pool, which is what makes per-scenario timeouts enforceable.
+Because every scenario is an independent pure function of its
+description, shard count cannot change any result; jobs=1 and jobs=N
+manifests are byte-identical.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import wait as connection_wait
+from typing import Dict, List, Optional
+
+from repro.sweep.cache import ScenarioCache
+from repro.sweep.manifest import SweepManifest
+from repro.sweep.scenario import run_scenario
+from repro.sweep.spec import Scenario
+
+__all__ = ["SweepOptions", "run_sweep"]
+
+#: How long the parallel loop blocks waiting for worker output before
+#: re-checking deadlines (seconds).
+_POLL_INTERVAL = 0.05
+
+
+@dataclass
+class SweepOptions:
+    """Execution knobs for one :func:`run_sweep` call."""
+
+    #: Worker processes; 1 (or no fork support) runs scenarios in-process.
+    jobs: int = 1
+    #: Per-scenario wall-clock limit; enforced only on forked workers
+    #: (the in-process path cannot interrupt a running scenario).
+    timeout_s: Optional[float] = None
+    #: Additional attempts after a scenario's first failure.
+    retries: int = 1
+    #: Settle at most this many scenarios, then return (tests use this to
+    #: emulate an interrupted sweep; CI kills the process for real).
+    stop_after: Optional[int] = None
+    #: Cross-sweep result cache; hits settle without executing.
+    cache: Optional[ScenarioCache] = None
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.stop_after is not None and self.stop_after < 1:
+            raise ValueError(f"stop_after must be >= 1, got {self.stop_after}")
+
+
+def _child_run(scenario: Scenario, conn) -> None:
+    """Forked worker: run one scenario, ship ('ok', doc) or ('error', text)."""
+    try:
+        document = run_scenario(scenario)
+    except BaseException as error:  # quarantine wants the reason, whatever it is
+        try:
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", document))
+    conn.close()
+
+
+@dataclass
+class _Shard:
+    """One in-flight forked scenario."""
+
+    scenario: Scenario
+    attempts: int
+    process: object
+    conn: object
+    deadline: Optional[float]
+
+
+class _Progress:
+    """Settlement bookkeeping shared by the serial and parallel paths."""
+
+    def __init__(self, manifest: SweepManifest, manifest_path, options, progress):
+        self.manifest = manifest
+        self.manifest_path = manifest_path
+        self.options = options
+        self.progress = progress
+        self.settled = 0
+
+    def _save(self) -> None:
+        if self.manifest_path is not None:
+            self.manifest.save(self.manifest_path)
+
+    def done(self, scenario: Scenario, document: Dict, attempts: int,
+             from_cache: bool = False) -> None:
+        self.manifest.mark_done(scenario.scenario_id, document, attempts)
+        cache = self.options.cache
+        if cache is not None and not from_cache:
+            cache.put(scenario.content_key, document)
+            cache.save()
+        self._save()
+        self.settled += 1
+        if self.progress is not None:
+            status = "cached" if from_cache else "done"
+            self.progress(scenario.scenario_id, status)
+
+    def quarantined(self, scenario: Scenario, attempts: int, error: str) -> None:
+        self.manifest.mark_quarantined(scenario.scenario_id, attempts, error)
+        self._save()
+        self.settled += 1
+        if self.progress is not None:
+            self.progress(scenario.scenario_id, f"quarantined: {error}")
+
+    @property
+    def budget_left(self) -> bool:
+        stop_after = self.options.stop_after
+        return stop_after is None or self.settled < stop_after
+
+
+def run_sweep(
+    manifest: SweepManifest,
+    manifest_path: Optional[str] = None,
+    options: Optional[SweepOptions] = None,
+    progress=None,
+) -> SweepManifest:
+    """Settle the manifest's pending scenarios (subject to ``stop_after``).
+
+    ``progress`` is an optional ``(scenario_id, status_text)`` callback.
+    Returns the (mutated) manifest; when ``manifest_path`` is given it has
+    been saved after every settlement, including before returning early.
+    """
+    options = options or SweepOptions()
+    tracker = _Progress(manifest, manifest_path, options, progress)
+    objects = manifest.scenario_objects()
+    pending = [objects[sid] for sid in manifest.pending_ids()]
+
+    if manifest_path is not None:
+        # Persist the plan up front so a kill during the very first
+        # scenario still leaves a resumable manifest on disk.
+        manifest.save(manifest_path)
+
+    remaining: List[Scenario] = []
+    for scenario in pending:
+        if not tracker.budget_left:
+            return manifest
+        cached = (
+            options.cache.get(scenario.content_key)
+            if options.cache is not None
+            else None
+        )
+        if cached is not None:
+            # A hit counts as one attempt: the manifest must not encode
+            # whether a cache happened to be warm, or warm-cache resumes
+            # would break the byte-identity contract.
+            tracker.done(scenario, cached, attempts=1, from_cache=True)
+        else:
+            remaining.append(scenario)
+
+    if options.stop_after is not None:
+        remaining = remaining[: options.stop_after - tracker.settled]
+
+    use_fork = (
+        options.jobs > 1
+        and len(remaining) > 1
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if use_fork:
+        _run_forked(remaining, tracker, options)
+    else:
+        _run_serial(remaining, tracker, options)
+    return manifest
+
+
+def _run_serial(scenarios: List[Scenario], tracker: _Progress,
+                options: SweepOptions) -> None:
+    for scenario in scenarios:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                document = run_scenario(scenario)
+            except Exception as error:
+                if attempts > options.retries:
+                    tracker.quarantined(
+                        scenario, attempts, f"{type(error).__name__}: {error}"
+                    )
+                    break
+                continue
+            tracker.done(scenario, document, attempts)
+            break
+
+
+def _run_forked(scenarios: List[Scenario], tracker: _Progress,
+                options: SweepOptions) -> None:
+    ctx = multiprocessing.get_context("fork")
+    queue: List[tuple] = [(scenario, 1) for scenario in scenarios]
+    shards: List[_Shard] = []
+
+    def spawn(scenario: Scenario, attempts: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_child_run, args=(scenario, child_conn), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        deadline = (
+            time.monotonic() + options.timeout_s
+            if options.timeout_s is not None
+            else None
+        )
+        shards.append(_Shard(scenario, attempts, process, parent_conn, deadline))
+
+    def reap(shard: _Shard, outcome: str, payload) -> None:
+        shards.remove(shard)
+        shard.conn.close()
+        shard.process.join(timeout=5.0)
+        if shard.process.is_alive():
+            shard.process.kill()
+            shard.process.join()
+        if outcome == "ok":
+            tracker.done(shard.scenario, payload, shard.attempts)
+        elif shard.attempts > options.retries:
+            tracker.quarantined(shard.scenario, shard.attempts, payload)
+        else:
+            queue.insert(0, (shard.scenario, shard.attempts + 1))
+
+    try:
+        while queue or shards:
+            while queue and len(shards) < options.jobs:
+                scenario, attempts = queue.pop(0)
+                spawn(scenario, attempts)
+            ready = connection_wait(
+                [shard.conn for shard in shards], timeout=_POLL_INTERVAL
+            )
+            for shard in [s for s in shards if s.conn in ready]:
+                try:
+                    outcome, payload = shard.conn.recv()
+                except (EOFError, OSError):
+                    outcome, payload = "error", "worker exited without a result"
+                reap(shard, outcome, payload)
+            now = time.monotonic()
+            for shard in [
+                s for s in shards if s.deadline is not None and now >= s.deadline
+            ]:
+                shard.process.kill()
+                reap(
+                    shard,
+                    "error",
+                    f"timeout after {options.timeout_s:g}s",
+                )
+    finally:
+        for shard in shards:
+            shard.process.kill()
+            shard.process.join()
+            shard.conn.close()

@@ -1,0 +1,73 @@
+"""Golden conformance corpus: one pinned scenario per workload.
+
+The corpus under ``tests/golden/`` freezes the full canonical result
+document of one small scenario per server application — simulation
+summary, metrics snapshot, and online detection report.  Any change to
+simulator arithmetic, metric registration, or report serialization shows
+up as a byte diff against these files, which is the point: behavioral
+drift must be *deliberate*.  After an intentional change, regenerate with
+
+    python -m repro.sweep --regen-golden
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.sweep.scenario import result_to_json, run_scenario
+from repro.sweep.spec import Scenario
+from repro.workloads.registry import SERVER_APPS
+
+__all__ = [
+    "GOLDEN_DIR",
+    "golden_path",
+    "golden_scenario",
+    "regenerate_golden",
+]
+
+#: Repo-relative default location of the corpus.
+GOLDEN_DIR = os.path.join("tests", "golden")
+
+#: Pinned per-workload axis overrides: tpcc exercises fault injection +
+#: detection scoring, rubis exercises multi-machine tier placement.
+_AXIS_OVERRIDES = {
+    "tpcc": {"faults": "lock_stall:0.25"},
+    "rubis": {"placement": "cluster:2:mysql=1"},
+}
+
+
+def golden_scenario(workload: str) -> Scenario:
+    """The pinned scenario for one workload (small, online, seed 7)."""
+    axes = {"faults": "none", "placement": "single"}
+    axes.update(_AXIS_OVERRIDES.get(workload, {}))
+    return Scenario(
+        workload=workload,
+        sampling="interrupt:100",
+        seed=7,
+        requests=5,
+        concurrency=4,
+        cores=4,
+        online=True,
+        train=0,
+        **axes,
+    )
+
+
+def golden_path(workload: str, directory: str = GOLDEN_DIR) -> str:
+    return os.path.join(directory, f"sweep_{workload}.json")
+
+
+def regenerate_golden(directory: str = GOLDEN_DIR) -> List[str]:
+    """Run every pinned scenario and rewrite the corpus; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths: List[str] = []
+    for workload in SERVER_APPS:
+        document: Dict = run_scenario(golden_scenario(workload))
+        path = golden_path(workload, directory)
+        with open(path, "w") as fh:
+            fh.write(result_to_json(document) + "\n")
+        paths.append(path)
+    return paths

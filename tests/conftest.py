@@ -11,6 +11,25 @@ from repro.kernel.simulator import ServerSimulator, SimConfig
 from repro.workloads.registry import make_workload
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked @pytest.mark.slow (excluded from tier-1)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip slow-marked tests unless --runslow: tier-1 must stay fast."""
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 def run_small(app, num_requests=20, seed=5, cores=4, concurrency=None, **overrides):
     workload = make_workload(app)
     if cores == 1:

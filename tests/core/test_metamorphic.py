@@ -1,0 +1,147 @@
+"""Metamorphic invariances of the paper's analysis measures.
+
+The modeling stack makes claims that must hold regardless of input
+framing: penalty-DTW is a symmetric measure, shifting both series by a
+constant cannot change their distance, relabeling/permuting the inputs of
+k-medoids permutes its partition, and reordering the requests inside an
+anomaly-detection window permutes scores without changing them.  Each is
+checked with hypothesis over *simulator-generated* counter sequences
+(plus the synthetic draws hypothesis itself adds), because the simulator
+produces series shapes — unequal lengths, flat regions, bursty spikes —
+that synthetic strategies undersample.
+
+Float discipline: permutations and shifts reorder float reductions, so
+comparisons use tight ``isclose`` tolerances rather than bit equality
+(only the sweep's differential suite demands bytes).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.anomaly import detect_by_centroid_distance
+from repro.core.clustering import distance_matrix, k_medoids
+from repro.core.distances import l1_distance
+from repro.core.dtw import dtw_distance
+from tests.conftest import run_small
+
+REL_TOL = 1e-9
+ABS_TOL = 1e-9
+
+
+def _series_pool():
+    """Per-request CPI window series from a real (simulated) tpcc run."""
+    result = run_small("tpcc", num_requests=16, seed=42)
+    pool = []
+    for trace in result.traces:
+        values = np.asarray(
+            trace.series("cpi", window_instructions=50_000).values, dtype=float
+        )
+        if len(values) >= 2:
+            pool.append(values)
+    assert len(pool) >= 8, "simulator pool too small for metamorphic tests"
+    return pool
+
+
+POOL = _series_pool()
+
+indices = st.integers(0, len(POOL) - 1)
+penalties = st.floats(0.0, 5.0, allow_nan=False)
+shifts = st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False)
+
+
+class TestPenaltyDtwInvariances:
+    @given(indices, indices, penalties)
+    @settings(max_examples=80, deadline=None)
+    def test_symmetric(self, i, j, penalty):
+        forward = dtw_distance(POOL[i], POOL[j], asynchrony_penalty=penalty)
+        backward = dtw_distance(POOL[j], POOL[i], asynchrony_penalty=penalty)
+        assert math.isclose(forward, backward, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+    @given(indices, indices, penalties, shifts)
+    @settings(max_examples=80, deadline=None)
+    def test_shift_consistent(self, i, j, penalty, shift):
+        # |(x+c) - (y+c)| == |x - y| elementwise, and the asynchrony
+        # penalty depends only on alignment, so a common shift is inert.
+        base = dtw_distance(POOL[i], POOL[j], asynchrony_penalty=penalty)
+        shifted = dtw_distance(
+            POOL[i] + shift, POOL[j] + shift, asynchrony_penalty=penalty
+        )
+        assert math.isclose(shifted, base, rel_tol=1e-7, abs_tol=1e-7)
+
+    @given(indices, penalties)
+    @settings(max_examples=40, deadline=None)
+    def test_self_distance_zero(self, i, penalty):
+        assert dtw_distance(POOL[i], POOL[i], asynchrony_penalty=penalty) == 0.0
+
+
+#: One fixed matrix over the pool: the permutation tests only reindex it,
+#: so every hypothesis example reuses these exact float entries.
+MATRIX = distance_matrix(POOL, lambda a, b: l1_distance(a, b, penalty=0.5))
+
+
+def _partition(labels, to_original):
+    """Cluster assignment as a set of frozensets of *original* indices."""
+    groups = {}
+    for position, label in enumerate(labels):
+        groups.setdefault(int(label), set()).add(int(to_original[position]))
+    return {frozenset(members) for members in groups.values()}
+
+
+class TestKMedoidsPermutationInvariance:
+    @given(st.permutations(range(len(POOL))), st.integers(2, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_invariant_up_to_relabeling(self, perm, k):
+        perm = np.asarray(perm)
+        # position[i] = where original item i landed after permuting
+        position = np.empty(len(perm), dtype=int)
+        position[perm] = np.arange(len(perm))
+
+        base = k_medoids(MATRIX, k, initial_medoids=list(range(k)))
+        permuted_matrix = MATRIX[np.ix_(perm, perm)]
+        permuted = k_medoids(
+            permuted_matrix, k, initial_medoids=[position[m] for m in range(k)]
+        )
+
+        assert _partition(permuted.labels, perm) == _partition(
+            base.labels, np.arange(len(POOL))
+        )
+        assert math.isclose(
+            permuted.total_cost, base.total_cost, rel_tol=REL_TOL, abs_tol=ABS_TOL
+        )
+        # medoids name the same original items
+        assert {int(perm[m]) for m in permuted.medoids} == set(
+            int(m) for m in base.medoids
+        )
+
+    def test_initial_medoids_validation(self):
+        with pytest.raises(ValueError, match="length"):
+            k_medoids(MATRIX, 2, initial_medoids=[0])
+        with pytest.raises(ValueError, match="distinct"):
+            k_medoids(MATRIX, 2, initial_medoids=[1, 1])
+        with pytest.raises(ValueError, match="index"):
+            k_medoids(MATRIX, 2, initial_medoids=[0, len(POOL)])
+
+
+class TestAnomalyReorderInvariance:
+    @given(st.permutations(range(len(POOL))))
+    @settings(max_examples=40, deadline=None)
+    def test_scores_invariant_under_request_reordering(self, perm):
+        distance = lambda a, b: l1_distance(a, b, penalty=0.5)
+        base = detect_by_centroid_distance(
+            {"window": list(range(len(POOL)))}, POOL, distance
+        )
+        reordered = detect_by_centroid_distance(
+            {"window": list(perm)}, POOL, distance
+        )
+        assert len(base) == len(reordered) == 1
+        # Reordering the window's member list must not change which
+        # request is anomalous, which is the reference, or the score.
+        assert reordered[0].anomaly_index == base[0].anomaly_index
+        assert reordered[0].reference_index == base[0].reference_index
+        assert math.isclose(
+            reordered[0].score, base[0].score, rel_tol=REL_TOL, abs_tol=ABS_TOL
+        )

@@ -79,6 +79,64 @@ class TestMainArguments:
         assert "must be >= 1" in capsys.readouterr().err
 
 
+class TestOutFile:
+    """--out must replace the file atomically, never append to it."""
+
+    @pytest.fixture()
+    def stub_experiment(self, monkeypatch):
+        def install(note):
+            class FakeModule:
+                @staticmethod
+                def run(scale):
+                    from repro.experiments.base import ExperimentResult
+
+                    return ExperimentResult(
+                        exp_id="fig6", title="stub", notes=[note]
+                    )
+
+            monkeypatch.setattr(
+                "repro.experiments.runner.get_experiment",
+                lambda exp_id: FakeModule,
+            )
+
+        return install
+
+    def test_out_replaces_instead_of_appending(
+        self, tmp_path, stub_experiment, capsys
+    ):
+        # The original implementation opened --out in append mode, so a
+        # rerun stacked a second copy of every section onto the first.
+        path = tmp_path / "run.md"
+        stub_experiment("first-marker")
+        assert main(["fig6", "--out", str(path)]) == 0
+        first = path.read_text()
+        assert "first-marker" in first
+
+        stub_experiment("second-marker")
+        assert main(["fig6", "--out", str(path)]) == 0
+        second = path.read_text()
+        assert "second-marker" in second
+        assert "first-marker" not in second
+        assert second.count("stub") == 1
+
+    def test_out_leaves_no_temp_droppings(
+        self, tmp_path, stub_experiment, capsys
+    ):
+        path = tmp_path / "nested" / "run.md"
+        stub_experiment("note")
+        assert main(["fig6", "--out", str(path)]) == 0
+        assert path.exists()
+        assert [p.name for p in path.parent.iterdir()] == ["run.md"]
+
+    def test_out_ends_with_single_newline(self, tmp_path, stub_experiment, capsys):
+        path = tmp_path / "run.md"
+        stub_experiment("note")
+        assert main(["fig6", "--out", str(path)]) == 0
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert not text.endswith("\n\n")
+
+
 class TestProfileAndMetrics:
     def test_profile_attaches_stage_seconds(self):
         results = list(run_experiments(["table1"], scale=0.05, profile=True))

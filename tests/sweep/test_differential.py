@@ -1,0 +1,216 @@
+"""Differential suite: the sweep path adds zero observer effect.
+
+Every scenario document a sweep settles must be byte-identical to the
+same scenario rebuilt *by hand* — workload, SimConfig, collector, and
+online pipeline constructed directly in this file and run through
+``ServerSimulator`` / ``OnlinePipeline``, then serialized against the
+documented result schema.  That pins both the values and the schema:
+sharding (``jobs``), retries, caching, and kill/resume can change when a
+scenario runs, never what it produces.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import parse_sampling
+from repro.hardware.platform import WOODCREST
+from repro.kernel.simulator import ServerSimulator, SimConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceCollector
+from repro.online.pipeline import SUBSCRIBED_KINDS, OnlinePipeline
+from repro.online.report import build_report as build_online_report
+from repro.sweep.executor import SweepOptions, run_sweep
+from repro.sweep.manifest import SweepManifest
+from repro.sweep.report import build_report
+from repro.sweep.spec import SweepSpec
+from repro.workloads.registry import (
+    SERVER_APPS,
+    make_faulted_workload,
+    make_workload,
+)
+
+pytestmark = pytest.mark.sweep
+
+#: All five workloads, clean + faulted, online analysis on.
+SPEC = SweepSpec(
+    name="differential",
+    workloads=SERVER_APPS,
+    sampling=("interrupt:100",),
+    seeds=(3,),
+    faults=("none", "lock_stall:0.3"),
+    requests=5,
+    concurrency=4,
+    online=True,
+    train=0,
+)
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def direct_document(scenario) -> dict:
+    """The reference: the scenario run with no sweep machinery at all."""
+    workload = (
+        make_faulted_workload(scenario.workload, scenario.faults)
+        if scenario.faults != "none"
+        else make_workload(scenario.workload)
+    )
+    pipeline = OnlinePipeline()
+    collector = TraceCollector(capacity=0, kinds=SUBSCRIBED_KINDS)
+    collector.subscribe(pipeline.process_event)
+    config = SimConfig(
+        machine=WOODCREST,
+        sampling=parse_sampling(scenario.sampling),
+        num_requests=scenario.requests,
+        concurrency=min(scenario.concurrency, scenario.requests),
+        seed=scenario.seed,
+        collector=collector,
+    )
+    result = ServerSimulator(workload, config).run()
+    registry = MetricsRegistry()
+    result.register_metrics(registry)
+    cpis = result.request_cpis()
+    busy = float(result.busy_cycles_per_core.sum())
+    overhead = result.sampler_stats.overhead_cycles(config.cost_model)
+    report = build_online_report(pipeline)
+    return {
+        "format": "repro-sweep-result",
+        "version": 1,
+        "scenario": scenario.to_dict(),
+        "scenario_id": scenario.scenario_id,
+        "summary": {
+            "requests": len(result.traces),
+            "wall_cycles": float(result.wall_cycles),
+            "busy_cycles": busy,
+            "total_samples": int(result.sampler_stats.total_samples),
+            "overhead_cycles": float(overhead),
+            "overhead_fraction": float(overhead) / busy,
+            "mean_cpi": float(cpis.mean()),
+            "p90_cpi": float(np.percentile(cpis, 90)),
+            "injected": sum(
+                1
+                for trace in result.traces
+                if trace.spec.metadata.get("injected_fault") is not None
+            ),
+        },
+        "metrics": registry.snapshot(),
+        "online": {
+            "summary": report.summary,
+            "per_class": report.per_class,
+            "requests": report.requests,
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def swept(tmp_path_factory):
+    """One serial sweep over the full differential grid."""
+    path = str(tmp_path_factory.mktemp("diff") / "manifest.json")
+    manifest = SweepManifest.plan(SPEC)
+    run_sweep(manifest, path, SweepOptions(jobs=1))
+    assert manifest.complete and not manifest.counts()["quarantined"]
+    return manifest
+
+
+class TestSweepMatchesDirect:
+    @pytest.mark.parametrize("workload", SERVER_APPS)
+    @pytest.mark.parametrize("faults", ["none", "lock_stall:0.3"])
+    def test_byte_identity(self, swept, workload, faults):
+        objects = swept.scenario_objects()
+        scenario = next(
+            s
+            for s in objects.values()
+            if s.workload == workload and s.faults == faults
+        )
+        swept_json = canonical(swept.result(scenario.scenario_id))
+        direct_json = canonical(direct_document(scenario))
+        assert swept_json == direct_json
+
+
+class TestShardingInvariance:
+    def test_jobs4_manifest_matches_jobs1(self, swept):
+        parallel = SweepManifest.plan(SPEC)
+        run_sweep(parallel, options=SweepOptions(jobs=4))
+        assert parallel.to_json() == swept.to_json()
+
+    def test_jobs4_report_matches_jobs1(self, swept):
+        parallel = SweepManifest.plan(SPEC)
+        run_sweep(parallel, options=SweepOptions(jobs=4))
+        assert build_report(parallel).to_json() == build_report(swept).to_json()
+
+
+class TestInterruptedSweep:
+    def test_stop_and_resume_matches_uninterrupted(self, swept, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        manifest = SweepManifest.plan(SPEC)
+        run_sweep(manifest, path, SweepOptions(stop_after=3))
+        assert manifest.counts()["pending"] == len(SPEC.expand()) - 3
+        # fresh process semantics: reload from disk, then continue
+        resumed = SweepManifest.load(path)
+        run_sweep(resumed, path, SweepOptions(jobs=2))
+        assert resumed.to_json() == swept.to_json()
+        assert build_report(resumed).to_json() == build_report(swept).to_json()
+
+
+@pytest.mark.slow
+class TestSigkillResume:
+    """Real SIGKILL mid-sweep, resumed via the CLI (the CI smoke, in pytest)."""
+
+    def test_sigkill_resume_byte_identity(self, swept, tmp_path):
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(repo_src) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC.to_dict()))
+        manifest_path = tmp_path / "manifest.json"
+
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.sweep",
+                "run",
+                str(spec_path),
+                "--manifest",
+                str(manifest_path),
+                "--quiet",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    break  # finished before we could kill it; still valid
+                try:
+                    manifest = SweepManifest.load(str(manifest_path))
+                except (OSError, ValueError):
+                    time.sleep(0.02)
+                    continue
+                if manifest.counts()["done"] >= 2:
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("sweep never settled 2 scenarios")
+        finally:
+            if process.poll() is None:
+                os.kill(process.pid, signal.SIGKILL)
+            process.wait()
+
+        resumed = SweepManifest.load(str(manifest_path))
+        assert not resumed.complete or process.returncode == 0
+        run_sweep(resumed, str(manifest_path), SweepOptions(jobs=2))
+        assert resumed.to_json() == swept.to_json()
+        assert build_report(resumed).to_json() == build_report(swept).to_json()

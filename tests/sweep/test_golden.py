@@ -1,0 +1,67 @@
+"""Golden conformance corpus: pinned scenario documents per workload.
+
+A mismatch means the simulator, metric registration, online pipeline, or
+result serialization changed behavior.  If the change is deliberate,
+regenerate the corpus and review the diff:
+
+    python -m repro.sweep --regen-golden
+"""
+
+import difflib
+import json
+import os
+
+import pytest
+
+from repro.sweep.golden import golden_path, golden_scenario
+from repro.sweep.scenario import result_to_json, run_scenario
+from repro.workloads.registry import SERVER_APPS
+
+pytestmark = pytest.mark.sweep
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "golden")
+
+
+def _pretty(text: str):
+    return json.dumps(json.loads(text), indent=2, sort_keys=True).splitlines(
+        keepends=True
+    )
+
+
+class TestGoldenCorpus:
+    def test_corpus_covers_every_workload(self):
+        for workload in SERVER_APPS:
+            assert os.path.exists(golden_path(workload, GOLDEN_DIR)), (
+                f"missing golden file for {workload!r}; regenerate with "
+                "'python -m repro.sweep --regen-golden'"
+            )
+
+    @pytest.mark.parametrize("workload", SERVER_APPS)
+    def test_scenario_matches_pinned_bytes(self, workload):
+        path = golden_path(workload, GOLDEN_DIR)
+        with open(path) as fh:
+            expected = fh.read()
+        actual = result_to_json(run_scenario(golden_scenario(workload))) + "\n"
+        if actual == expected:
+            return
+        diff = "".join(
+            difflib.unified_diff(
+                _pretty(expected),
+                _pretty(actual),
+                fromfile=f"golden/{os.path.basename(path)} (pinned)",
+                tofile="recomputed",
+                n=3,
+            )
+        )
+        pytest.fail(
+            f"golden conformance mismatch for workload {workload!r}.\n"
+            "If this behavior change is intentional, regenerate with\n"
+            "    python -m repro.sweep --regen-golden\n"
+            "and commit the diff.\n\n" + diff
+        )
+
+    def test_golden_scenarios_cover_faults_and_placement(self):
+        # The corpus must keep exercising fault injection (tpcc) and
+        # multi-machine tier placement (rubis), not just clean runs.
+        assert golden_scenario("tpcc").faults != "none"
+        assert golden_scenario("rubis").placement.startswith("cluster:")

@@ -36,6 +36,7 @@ class TestExports:
             "repro.obs",
             "repro.analysis",
             "repro.experiments",
+            "repro.sweep",
             "repro.cli",
         ],
     )
@@ -49,6 +50,7 @@ class TestExports:
             "repro.workloads",
             "repro.core",
             "repro.obs",
+            "repro.sweep",
         ):
             module = importlib.import_module(name)
             for symbol in getattr(module, "__all__", []):
