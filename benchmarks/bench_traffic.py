@@ -1,0 +1,167 @@
+"""Benchmark: arrival generation + dispatch throughput of the traffic layer.
+
+Two hot paths matter for load sweeps:
+
+* schedule generation — drawing an n-arrival Poisson/ON-OFF/Zipf schedule
+  (the vectorized exponential cumsum vs the per-draw loop it replaced);
+* dispatch decisions — a policy's ``choose`` against a live queue view,
+  the per-stage cost every enqueue pays inside the simulator.
+
+The sustained-rate assertion (>= 10k arrivals scheduled *and* dispatched
+per wall-clock second) is hardware-gated on >= 2 usable CPUs, matching
+the other benchmark gates; under that it only reports.  Run directly for
+a readable report:
+
+    PYTHONPATH=src python benchmarks/bench_traffic.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    JoinShortestQueue,
+    OnOffArrivals,
+    PoissonArrivals,
+    RandomDispatch,
+    RoundRobinDispatch,
+    ZipfArrivals,
+    parse_dispatch,
+)
+
+N_ARRIVALS = 50_000
+N_DISPATCHES = 50_000
+MIN_RATE = 10_000  # arrivals scheduled + dispatched per second
+GHZ = 3.0
+CORES = tuple(range(4))
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+class _BenchView:
+    """A moving queue-state view so queue-aware policies do real work."""
+
+    def __init__(self):
+        self.depths = [3, 1, 4, 1]
+
+    def queue_depth(self, core_id):
+        return self.depths[core_id]
+
+    def outstanding_work(self, core_id):
+        return float(self.depths[core_id]) * 1e5
+
+    def tick(self, core_id):
+        self.depths[core_id] = (self.depths[core_id] + 1) % 7
+
+
+class _BenchSpec:
+    kind = "new_order"
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def schedule_rate(process, n=N_ARRIVALS) -> float:
+    rng = np.random.default_rng(5)
+    arrivals, seconds = timed(lambda: process.schedule(rng, n, GHZ))
+    assert len(arrivals) == n
+    return n / seconds
+
+
+def dispatch_rate(policy, n=N_DISPATCHES) -> float:
+    policy.reset(seed=1)
+    view = _BenchView()
+    spec = _BenchSpec()
+
+    def drive():
+        for i in range(n):
+            core = policy.choose(0, CORES, spec, 0, view)
+            view.tick(core)
+
+    _, seconds = timed(drive)
+    return n / seconds
+
+
+def combined_rate(n=N_ARRIVALS) -> float:
+    """Schedule n Poisson arrivals and dispatch each once: the full
+    per-arrival traffic-layer cost a load sweep pays."""
+    rng = np.random.default_rng(9)
+    policy = JoinShortestQueue()
+    policy.reset(seed=1)
+    view = _BenchView()
+    spec = _BenchSpec()
+
+    def drive():
+        arrivals = PoissonArrivals(5000.0).schedule(rng, n, GHZ)
+        for _ in arrivals:
+            view.tick(policy.choose(0, CORES, spec, 0, view))
+        return arrivals
+
+    arrivals, seconds = timed(drive)
+    assert len(arrivals) == n
+    return n / seconds
+
+
+def run_benchmark():
+    return {
+        "poisson": schedule_rate(PoissonArrivals(5000.0)),
+        "onoff": schedule_rate(OnOffArrivals(8000.0, 500.0, 5.0, 5.0)),
+        "zipf": schedule_rate(ZipfArrivals(5000.0, 1.1, 16)),
+        "rr": dispatch_rate(RoundRobinDispatch()),
+        "random": dispatch_rate(RandomDispatch()),
+        "jsq": dispatch_rate(JoinShortestQueue()),
+        "low": dispatch_rate(parse_dispatch("low")),
+        "combined": combined_rate(),
+    }
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_benchmark()
+
+
+class TestTrafficBench:
+    def test_sustains_10k_arrivals_per_second(self, report):
+        rate = report["combined"]
+        if usable_cpus() < 2:
+            pytest.skip(
+                f"only {usable_cpus()} usable CPU(s); measured "
+                f"{rate:.0f} arrivals/s (assertion needs >= 2 CPUs)"
+            )
+        assert rate >= MIN_RATE, (
+            f"traffic layer sustained {rate:.0f} arrivals/s, "
+            f"below the {MIN_RATE} floor"
+        )
+
+    def test_every_path_produces_work(self, report):
+        assert all(rate > 0 for rate in report.values())
+
+
+def main() -> None:
+    r = run_benchmark()
+    print(
+        f"traffic-layer throughput, {N_ARRIVALS} arrivals / "
+        f"{N_DISPATCHES} dispatch decisions ({usable_cpus()} usable CPU(s))"
+    )
+    for name in ("poisson", "onoff", "zipf"):
+        print(f"  schedule {name:<8} {r[name]:12.0f} arrivals/s")
+    for name in ("rr", "random", "jsq", "low"):
+        print(f"  dispatch {name:<8} {r[name]:12.0f} decisions/s")
+    print(f"  schedule+dispatch     {r['combined']:12.0f} arrivals/s "
+          f"(floor {MIN_RATE})")
+
+
+if __name__ == "__main__":
+    main()

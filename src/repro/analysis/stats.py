@@ -14,6 +14,15 @@ import numpy as np
 
 
 def _as_arrays(values, weights):
+    """Validate a (values, weights) pair for weighted statistics.
+
+    Every failure mode that would otherwise surface as a crash deep in
+    numpy or as a silent NaN result — empty inputs, zero total weight,
+    NaN/inf contamination — raises a clear ``ValueError`` here instead.
+    (LatencyStore percentile columns and the metrics-registry histograms
+    are built on these; a NaN p99 in a load-sweep table is worse than an
+    error.)
+    """
     values = np.asarray(values, dtype=float)
     if weights is None:
         weights = np.ones_like(values)
@@ -24,11 +33,19 @@ def _as_arrays(values, weights):
             f"values shape {values.shape} != weights shape {weights.shape}"
         )
     if values.size == 0:
-        raise ValueError("empty input")
+        raise ValueError(
+            "empty input: weighted statistics need at least one sample"
+        )
+    if np.any(np.isnan(values)):
+        raise ValueError("values contain NaN")
+    if not np.all(np.isfinite(weights)):
+        raise ValueError("weights must be finite (no NaN/inf)")
     if np.any(weights < 0):
         raise ValueError("weights must be non-negative")
     if not np.any(weights > 0):
-        raise ValueError("at least one weight must be positive")
+        raise ValueError(
+            "total weight is zero: at least one weight must be positive"
+        )
     return values, weights
 
 

@@ -164,6 +164,27 @@ def build_parser() -> argparse.ArgumentParser:
         "lock_stall:0.2 (kinds: lock_stall, cache_thrash, slowdown)",
     )
     parser.add_argument(
+        "--arrivals", default=None, metavar="SPEC",
+        help="open-loop arrival process: poisson:<rate_rps> | "
+        "onoff:<ron>,<roff>,<on_ms>,<off_ms> | diurnal:<rate>,<period_ms>,"
+        "<depth> | zipf:<rate>,<s>,<tenants> | replay:<path> | closed "
+        "(default: closed loop at --concurrency)",
+    )
+    parser.add_argument(
+        "--offered-load", type=float, default=None, metavar="RPS",
+        help="shorthand for --arrivals poisson:<RPS>",
+    )
+    parser.add_argument(
+        "--dispatch", default=None, metavar="POLICY",
+        help="core dispatch policy: rr | random | jsq | low | classaware "
+        "(default rr)",
+    )
+    parser.add_argument(
+        "--admission-limit", type=positive_int, default=None, metavar="N",
+        help="bound the admission queue at N in-flight requests; open-loop "
+        "arrivals beyond it are shed (counted, not executed)",
+    )
+    parser.add_argument(
         "--online", action="store_true",
         help="attach the streaming online pipeline (prediction + anomaly "
         "detection) to the run and print its scored report",
@@ -224,6 +245,25 @@ def main(argv=None) -> int:
 
     if args.checkpoint and not args.online:
         parser.error("--checkpoint requires --online")
+    if args.offered_load is not None and args.arrivals is not None:
+        parser.error("--offered-load is shorthand for --arrivals poisson:<RPS>; "
+                     "give one or the other")
+
+    traffic = None
+    arrivals_spec = args.arrivals
+    if args.offered_load is not None:
+        arrivals_spec = f"poisson:{args.offered_load}"
+    if arrivals_spec is not None or args.dispatch or args.admission_limit:
+        from repro.traffic import TrafficConfig, parse_arrivals, parse_dispatch
+
+        try:
+            traffic = TrafficConfig(
+                arrivals=parse_arrivals(arrivals_spec or "closed"),
+                dispatch=parse_dispatch(args.dispatch or "rr"),
+                admission_limit=args.admission_limit,
+            )
+        except ValueError as error:
+            parser.error(str(error))
 
     profiler = StageProfiler()
     collector = None
@@ -264,6 +304,7 @@ def main(argv=None) -> int:
             concurrency=concurrency,
             seed=args.seed,
             collector=collector,
+            traffic=traffic,
         )
         result = ServerSimulator(workload, config).run()
 
@@ -286,6 +327,25 @@ def main(argv=None) -> int:
         inter = inter_request_variation(result.traces, metric)
         intra = captured_variation(result.traces, metric)
         print(f"{metric}: inter-request CoV {inter:.3f}, with intra {intra:.3f}")
+
+    if result.latency is not None:
+        summary = result.latency.summary()
+        lat, queue = summary["latency_us"], summary["queue_us"]
+        print(
+            f"traffic: {summary['completed']} completed, "
+            f"{summary['shed']} shed, "
+            f"throughput {summary['throughput_rps']:.0f} req/s"
+        )
+        if lat["p50"] is not None:
+            print(
+                f"latency: p50 {lat['p50']:.0f} us, p95 {lat['p95']:.0f} us, "
+                f"p99 {lat['p99']:.0f} us "
+                f"(queueing p99 {queue['p99']:.0f} us)"
+            )
+        kind_rows = result.latency.rows_by_kind()
+        if kind_rows:
+            print()
+            print(format_table(kind_rows, title="latency by request kind"))
 
     rows = [
         {

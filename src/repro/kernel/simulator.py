@@ -30,9 +30,31 @@ from repro.kernel.task import Task, TaskState
 from repro.kernel.tracker import PeriodRecord, RequestTracker
 from repro.obs.profiling import profiled_stage
 from repro.obs.trace import NULL_COLLECTOR, TraceCollector
+from repro.traffic import (
+    LatencyStore,
+    PoissonArrivals,
+    RoundRobinDispatch as RoundRobinDispatchPolicy,
+    TrafficConfig,
+)
 from repro.workloads.base import WorkloadGenerator
 
 _INF = float("inf")
+
+#: Deterministic same-timestamp event ordering.  Events settle by the
+#: explicit key ``(time, _EVENT_PRIORITY[kind], core_id)`` — arrivals
+#: first (they may make idle cores dispatchable), then phase boundaries,
+#: quantum expiries, resched opportunities, interrupts, and rate-based
+#: syscalls, with the lowest core id winning inside a kind.  The order is
+#: part of the byte-identity surface the golden corpus pins; traffic-layer
+#: or event-loop refactors must not change it silently.
+_EVENT_PRIORITY = {
+    "arrival": 0,
+    "phase_end": 1,
+    "quantum_end": 2,
+    "resched": 3,
+    "interrupt": 4,
+    "ratecall": 5,
+}
 
 
 @dataclass
@@ -67,11 +89,16 @@ class SimConfig:
     tier_placement: Optional[Dict[str, int]] = None
     #: One-way network latency for a cross-machine stage hand-off.
     network_delay_us: float = 50.0
-    #: Open-loop mode: when set, requests arrive as a Poisson process at
-    #: this rate instead of the paper's closed loop (``concurrency`` is
-    #: then only the initial in-flight cap and no longer throttles
-    #: admissions).  Useful for latency-vs-load studies.
+    #: Legacy open-loop shorthand: when set, requests arrive as a Poisson
+    #: process at this rate (``concurrency`` no longer throttles
+    #: admissions).  Equivalent to ``traffic`` with
+    #: :class:`repro.traffic.PoissonArrivals`; mutually exclusive with it.
     arrival_rate_per_s: Optional[float] = None
+    #: Open-system traffic layer: arrival process, dispatch policy, and
+    #: bounded-admission backpressure (:class:`repro.traffic.TrafficConfig`).
+    #: None — or closed-loop arrivals with round-robin dispatch — is
+    #: byte-identical to the paper's closed generative loop.
+    traffic: Optional[TrafficConfig] = None
     #: Request-scoped trace collector (None disables tracing; the disabled
     #: fast path is a single attribute check per instrumentation point).
     #: Emission never touches the simulation RNG or any simulated state,
@@ -92,6 +119,11 @@ class SimResult:
     timeline_cycles: np.ndarray
     wall_cycles: float
     busy_cycles_per_core: np.ndarray
+    #: Per-request queueing/sojourn latencies (only for runs with a
+    #: configured traffic layer; None for plain closed-loop runs).
+    latency: Optional[LatencyStore] = None
+    #: Open-loop arrivals refused by the bounded admission queue.
+    requests_shed: int = 0
 
     def high_usage_fractions(self) -> Dict[str, float]:
         """Fraction of wall time with >=2, >=3, and all 4 cores at high usage."""
@@ -132,6 +164,8 @@ class SimResult:
             values, weights = trace.period_values("cpi")
             for value, weight in zip(values, weights):
                 period_cpi.observe(float(value), weight=float(weight))
+        if self.latency is not None:
+            self.latency.register_metrics(registry)
 
 
 class _CoreRun:
@@ -167,6 +201,30 @@ class _CoreRun:
         self.period_counters = CounterSnapshot()
         self.period_inj_ik = 0
         self.period_inj_int = 0
+
+
+class _DispatchView:
+    """Read-only queue-state window for dispatch policies."""
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: "ServerSimulator"):
+        self._sim = sim
+
+    def queue_depth(self, core_id: int) -> int:
+        sim = self._sim
+        running = 1 if sim.cores[core_id].task is not None else 0
+        return len(sim.runqueues[core_id]) + running
+
+    def outstanding_work(self, core_id: int) -> float:
+        sim = self._sim
+        total = 0.0
+        task = sim.cores[core_id].task
+        if task is not None:
+            total += task.remaining_in_stage
+        for queued in sim.runqueues[core_id]:
+            total += queued.remaining_in_stage
+        return total
 
 
 class ServerSimulator:
@@ -209,10 +267,35 @@ class ServerSimulator:
         self.traces: list = []
         self._admitted = 0
         self._completed = 0
+        self._shed = 0
         self._next_task_id = 0
-        self._next_home_core = 0
-        self._machine_rr: Dict[int, int] = {}
-        #: Cross-machine hand-offs in flight: (ready_cycle, seq, spec, stage).
+        # Traffic layer: arrival process + dispatch policy + latency store.
+        # The legacy arrival_rate_per_s shorthand becomes a Poisson process;
+        # no traffic config at all keeps the closed loop with the historical
+        # round-robin placement (byte-identical, no latency accounting).
+        traffic = config.traffic
+        if traffic is not None and config.arrival_rate_per_s:
+            raise ValueError(
+                "set either traffic or arrival_rate_per_s, not both"
+            )
+        if traffic is None and config.arrival_rate_per_s:
+            traffic = TrafficConfig(
+                arrivals=PoissonArrivals(config.arrival_rate_per_s)
+            )
+        self.traffic = traffic
+        self._open_loop = traffic is not None and not traffic.arrivals.is_closed_loop
+        self._admission_limit = traffic.admission_limit if traffic else None
+        self.dispatch_policy = (
+            traffic.dispatch if traffic else RoundRobinDispatchPolicy()
+        )
+        self.dispatch_policy.reset(config.seed)
+        self._dispatch_view = _DispatchView(self)
+        self.latency = (
+            LatencyStore(self.machine.frequency_ghz) if traffic else None
+        )
+        #: In-flight arrivals: (ready_cycle, seq, spec, stage, tenant) —
+        #: cross-machine stage hand-offs (spec set) and open-loop
+        #: admissions (spec None).
         self._pending_arrivals: list = []
         self._arrival_seq = 0
         self._network_delay_cycles = self.machine.us_to_cycles(
@@ -259,15 +342,15 @@ class ServerSimulator:
                 num_requests=self.config.num_requests,
                 concurrency=self.config.concurrency,
             )
-        if self.config.arrival_rate_per_s:
-            # Open loop: pre-draw the whole Poisson arrival schedule.
-            gap_cycles = (
-                self.machine.frequency_ghz * 1e9 / self.config.arrival_rate_per_s
-            )
-            t = 0.0
-            for _ in range(self.config.num_requests):
-                t += float(self.rng.exponential(gap_cycles))
-                self._defer_admission(t)
+            if self.traffic is not None:
+                self.obs.emit("traffic", self.now, **self.traffic.describe())
+        if self._open_loop:
+            # Open system: pre-draw the whole arrival schedule, so the
+            # run is a pure function of (process, seed).
+            for arrival in self.traffic.arrivals.schedule(
+                self.rng, self.config.num_requests, self.machine.frequency_ghz
+            ):
+                self._defer_admission(arrival.cycle, arrival.tenant)
         else:
             while self._admitted < min(
                 self.config.concurrency, self.config.num_requests
@@ -277,7 +360,9 @@ class ServerSimulator:
             self._dispatch(core)
         self._recompute_rates()
 
-        while self._completed < self.config.num_requests:
+        # Shed arrivals count toward run completion: they were offered
+        # load that the bounded admission queue refused.
+        while self._completed + self._shed < self.config.num_requests:
             t, core_id, kind = self._next_event()
             if t == _INF:
                 raise RuntimeError(
@@ -306,14 +391,24 @@ class ServerSimulator:
             timeline_cycles=self._timeline,
             wall_cycles=self.now,
             busy_cycles_per_core=np.array([c.state.busy_cycles for c in self.cores]),
+            latency=self.latency,
+            requests_shed=self._shed,
         )
 
     # ----------------------------------------------------------- event loop
 
     def _next_event(self):
-        best = (_INF, -1, "none")
+        """The earliest pending event as ``(time, core_id, kind)``.
+
+        Same-timestamp events settle by the explicit, documented key
+        ``(time, _EVENT_PRIORITY[kind], core_id)`` — never by core scan
+        order or float-comparison asymmetries — so the event sequence is
+        stable under event-loop and traffic-layer refactors.
+        """
+        best = (_INF, 6, -1, "none")
         if self._pending_arrivals:
-            best = (self._pending_arrivals[0][0], -1, "arrival")
+            best = (self._pending_arrivals[0][0], _EVENT_PRIORITY["arrival"],
+                    -1, "arrival")
         for core in self.cores:
             if core.task is None:
                 continue
@@ -325,9 +420,11 @@ class ServerSimulator:
                 (core.next_interrupt, "interrupt"),
                 (core.next_ratecall, "ratecall"),
             ):
-                if t < best[0]:
-                    best = (t, cid, kind)
-        return best
+                if t < _INF:
+                    key = (t, _EVENT_PRIORITY[kind], cid)
+                    if key < best[:3]:
+                        best = (t, key[1], cid, kind)
+        return best[0], best[2], best[3]
 
     def _account_timeline(self, t: float) -> None:
         if self.config.high_usage_mpi_threshold is None:
@@ -437,10 +534,16 @@ class ServerSimulator:
 
     # ------------------------------------------------------- request admin
 
-    def _admit(self) -> None:
+    def _admit(self, tenant: Optional[int] = None) -> None:
         spec = self.workload.sample_request(self.rng, self._admitted)
         self._admitted += 1
+        if tenant is not None:
+            spec.metadata["tenant"] = tenant
         self.tracker.start_request(spec, self.now)
+        if self.latency is not None:
+            self.latency.on_arrival(
+                spec.request_id, spec.kind, self.now, tenant=tenant
+            )
         if self.obs.enabled:
             self.obs.emit(
                 "request_admitted",
@@ -453,13 +556,40 @@ class ServerSimulator:
             )
         self._enqueue_stage(spec, stage_index=0)
 
+    def _shed_arrival(self, tenant: Optional[int]) -> None:
+        """Refuse one open-loop arrival at the bounded admission queue."""
+        self._shed += 1
+        if self.latency is not None:
+            self.latency.on_shed(self.now)
+        if self.obs.enabled:
+            self.obs.emit(
+                "request_shed",
+                self.now,
+                in_flight=self._admitted - self._completed,
+                admission_limit=self._admission_limit,
+                tenant=tenant,
+            )
+
     def _on_arrival(self, core_id: int) -> None:
+        # Heap timestamps compare exactly: an event's batch is everything
+        # scheduled at the very same float cycle.  (The old absolute 1e-9
+        # epsilon fell below float spacing at large cycle counts, making
+        # batch membership — and hence _recompute_rates timing — depend on
+        # the run's time magnitude.)
         while self._pending_arrivals and (
-            self._pending_arrivals[0][0] <= self.now + 1e-9
+            self._pending_arrivals[0][0] <= self.now
         ):
-            _, _, spec, stage_index = heapq.heappop(self._pending_arrivals)
+            _, _, spec, stage_index, tenant = heapq.heappop(
+                self._pending_arrivals
+            )
             if spec is None:
-                self._admit()
+                if (
+                    self._admission_limit is not None
+                    and self._admitted - self._completed >= self._admission_limit
+                ):
+                    self._shed_arrival(tenant)
+                else:
+                    self._admit(tenant)
             else:
                 self._enqueue_stage(spec, stage_index)
         self._recompute_rates()
@@ -473,10 +603,15 @@ class ServerSimulator:
         tier = spec.stages[stage_index].tier
         machine_id = self._machine_of_tier(tier)
         machine_cores = self.machine.machine_cores(machine_id)
-        rr = self._machine_rr.get(machine_id, 0)
-        self._machine_rr[machine_id] = rr + 1
-        core_id = machine_cores[rr % len(machine_cores)]
-        self._next_home_core += 1
+        core_id = self.dispatch_policy.choose(
+            machine_id, machine_cores, spec, stage_index, self._dispatch_view
+        )
+        if core_id not in machine_cores:
+            raise ValueError(
+                f"dispatch policy {self.dispatch_policy.name!r} placed "
+                f"stage {stage_index} on core {core_id}, not one of "
+                f"machine {machine_id}'s cores {tuple(machine_cores)}"
+            )
         task = Task(
             task_id=self._next_task_id,
             request=spec,
@@ -503,14 +638,17 @@ class ServerSimulator:
         """Queue a stage arrival after a network hand-off delay."""
         heapq.heappush(
             self._pending_arrivals,
-            (ready_cycle, self._arrival_seq, spec, stage_index),
+            (ready_cycle, self._arrival_seq, spec, stage_index, None),
         )
         self._arrival_seq += 1
 
-    def _defer_admission(self, ready_cycle: float) -> None:
+    def _defer_admission(
+        self, ready_cycle: float, tenant: Optional[int] = None
+    ) -> None:
         """Schedule an open-loop request admission."""
         heapq.heappush(
-            self._pending_arrivals, (ready_cycle, self._arrival_seq, None, 0)
+            self._pending_arrivals,
+            (ready_cycle, self._arrival_seq, None, 0, tenant),
         )
         self._arrival_seq += 1
 
@@ -547,6 +685,11 @@ class ServerSimulator:
         trace = self.tracker.finish_request(task.request_id, self.now)
         self.traces.append(trace)
         self._completed += 1
+        if self.latency is not None:
+            self.latency.on_complete(task.request_id, self.now)
+        self.dispatch_policy.observe_completion(
+            task.request.kind, trace.cpu_time_us()
+        )
         if self.obs.enabled:
             self.obs.emit(
                 "request_completed",
@@ -556,10 +699,7 @@ class ServerSimulator:
                 core=core.state.core_id,
                 periods=trace.num_periods,
             )
-        if (
-            self.config.arrival_rate_per_s is None
-            and self._admitted < self.config.num_requests
-        ):
+        if not self._open_loop and self._admitted < self.config.num_requests:
             self._admit()
 
     # --------------------------------------------------------- dispatching
@@ -605,6 +745,12 @@ class ServerSimulator:
                 stage=task.stage_index,
                 phase=task.phase_index,
             )
+        if (
+            self.latency is not None
+            and task.stage_index == 0
+            and not task.has_started
+        ):
+            self.latency.on_start(task.request_id, self.now)
         task.state = TaskState.RUNNING
         core.task = task
         core.period_start = self.now

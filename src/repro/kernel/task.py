@@ -59,6 +59,17 @@ class Task:
         )
 
     @property
+    def remaining_in_stage(self) -> float:
+        """Instructions left in this task's whole stage (dispatch load view)."""
+        done_prior = sum(
+            p.instructions for p in self.stage.phases[: self.phase_index]
+        )
+        return max(
+            0.0,
+            self.stage.instructions - done_prior - self.instructions_done_in_phase,
+        )
+
+    @property
     def on_last_phase(self) -> bool:
         return self.phase_index == len(self.stage.phases) - 1
 

@@ -48,6 +48,8 @@ EVENT_KINDS = (
     "sched_avoidance",
     "sched_preempt",
     "request_completed",
+    "traffic",
+    "request_shed",
     "run_end",
 )
 

@@ -43,6 +43,7 @@ __all__ = [
     "RESULT_VERSION",
     "build_machine",
     "build_sim_config",
+    "build_traffic",
     "result_to_json",
     "run_scenario",
     "validate_result_document",
@@ -64,6 +65,23 @@ def build_machine(scenario: Scenario):
     return (WOODCREST if scenario.cores == 4 else serial_machine()), None
 
 
+def build_traffic(scenario: Scenario):
+    """The :class:`TrafficConfig` a scenario's traffic axes describe.
+
+    Returns ``None`` at the default axes (closed loop, round-robin) so the
+    simulator takes the legacy path and the golden corpus stays
+    byte-identical.
+    """
+    if scenario._default_traffic:
+        return None
+    from repro.traffic import TrafficConfig, parse_arrivals, parse_dispatch
+
+    return TrafficConfig(
+        arrivals=parse_arrivals(scenario.arrivals),
+        dispatch=parse_dispatch(scenario.dispatch),
+    )
+
+
 def build_sim_config(scenario: Scenario, collector=None) -> SimConfig:
     """The :class:`SimConfig` a scenario describes (pure, no side effects)."""
     from repro.cli import parse_sampling
@@ -77,6 +95,7 @@ def build_sim_config(scenario: Scenario, collector=None) -> SimConfig:
         seed=scenario.seed,
         tier_placement=tier_placement,
         collector=collector,
+        traffic=build_traffic(scenario),
     )
 
 
@@ -133,7 +152,7 @@ def run_scenario(scenario: Scenario) -> Dict:
             "per_class": report.per_class,
             "requests": report.requests,
         }
-    return {
+    document = {
         "format": RESULT_FORMAT,
         "version": RESULT_VERSION,
         "scenario": scenario.to_dict(),
@@ -152,6 +171,12 @@ def run_scenario(scenario: Scenario) -> Dict:
         "metrics": registry.snapshot(),
         "online": online,
     }
+    # Latency appears only for open-loop scenarios, leaving the bytes of
+    # every closed-loop (golden-pinned) result document untouched.
+    if result.latency is not None:
+        document["latency"] = result.latency.summary()
+        document["summary"]["requests_shed"] = int(result.requests_shed)
+    return document
 
 
 def result_to_json(document: Dict) -> str:

@@ -38,13 +38,20 @@ __all__ = [
 ]
 
 #: The grid axes, in expansion (itertools.product) order.
-AXES = ("workload", "sampling", "seed", "faults", "placement")
+AXES = ("workload", "sampling", "seed", "faults", "placement", "arrivals",
+        "dispatch")
 
 #: Fault-mix axis value meaning "no injection".
 NO_FAULTS = "none"
 
 #: Placement axis value meaning "every tier on one machine".
 SINGLE_PLACEMENT = "single"
+
+#: Arrivals axis value meaning "the paper's closed generative loop".
+CLOSED_ARRIVALS = "closed"
+
+#: Dispatch axis value meaning "historical per-machine round-robin".
+DEFAULT_DISPATCH = "rr"
 
 SCENARIO_FORMAT = "repro-sweep-scenario"
 SCENARIO_VERSION = 1
@@ -116,6 +123,18 @@ def _validate_faults(text: str) -> None:
         parse_fault_spec(text)
 
 
+def _validate_arrivals(text: str) -> None:
+    from repro.traffic import parse_arrivals
+
+    parse_arrivals(text)
+
+
+def _validate_dispatch(text: str) -> None:
+    from repro.traffic import parse_dispatch
+
+    parse_dispatch(text)
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One self-contained point of the grid.
@@ -130,6 +149,8 @@ class Scenario:
     seed: int
     faults: str = NO_FAULTS
     placement: str = SINGLE_PLACEMENT
+    arrivals: str = CLOSED_ARRIVALS
+    dispatch: str = DEFAULT_DISPATCH
     requests: int = 8
     concurrency: int = 4
     cores: int = 4
@@ -145,6 +166,8 @@ class Scenario:
         _validate_sampling(self.sampling)
         _validate_faults(self.faults)
         parse_placement(self.placement)
+        _validate_arrivals(self.arrivals)
+        _validate_dispatch(self.dispatch)
         if self.requests < 1:
             raise ValueError(f"requests must be >= 1, got {self.requests}")
         if self.concurrency < 1:
@@ -157,17 +180,29 @@ class Scenario:
             raise ValueError(f"seed must be an int, got {self.seed!r}")
 
     @property
-    def scenario_id(self) -> str:
-        """Readable deterministic id, unique within one spec's grid."""
-        return "~".join(
-            (
-                self.workload,
-                self.sampling,
-                f"seed{self.seed}",
-                self.faults,
-                self.placement,
-            )
+    def _default_traffic(self) -> bool:
+        return (
+            self.arrivals == CLOSED_ARRIVALS
+            and self.dispatch == DEFAULT_DISPATCH
         )
+
+    @property
+    def scenario_id(self) -> str:
+        """Readable deterministic id, unique within one spec's grid.
+
+        The traffic axes appear only when off their defaults, so every
+        pre-traffic-layer id (and manifest referencing one) is unchanged.
+        """
+        parts = [
+            self.workload,
+            self.sampling,
+            f"seed{self.seed}",
+            self.faults,
+            self.placement,
+        ]
+        if not self._default_traffic:
+            parts.extend((self.arrivals, self.dispatch))
+        return "~".join(parts)
 
     @property
     def content_key(self) -> str:
@@ -180,7 +215,19 @@ class Scenario:
         return content_key(payload)
 
     def to_dict(self) -> Dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        """Axis values + run settings; traffic axes only off-default.
+
+        Omitting default traffic axes keeps the content keys (and hence
+        the cross-sweep cache and the golden corpus bytes) of every
+        pre-traffic-layer scenario stable; ``from_dict`` fills the
+        defaults back in.
+        """
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        if self.arrivals == CLOSED_ARRIVALS:
+            del payload["arrivals"]
+        if self.dispatch == DEFAULT_DISPATCH:
+            del payload["dispatch"]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "Scenario":
@@ -229,6 +276,8 @@ class SweepSpec:
     seeds: tuple
     faults: tuple = (NO_FAULTS,)
     placements: tuple = (SINGLE_PLACEMENT,)
+    arrivals: tuple = (CLOSED_ARRIVALS,)
+    dispatch: tuple = (DEFAULT_DISPATCH,)
     requests: int = 8
     concurrency: int = 4
     cores: int = 4
@@ -245,6 +294,8 @@ class SweepSpec:
         object.__setattr__(self, "seeds", _unique(self.seeds, "seeds"))
         object.__setattr__(self, "faults", _unique(self.faults, "faults"))
         object.__setattr__(self, "placements", _unique(self.placements, "placements"))
+        object.__setattr__(self, "arrivals", _unique(self.arrivals, "arrivals"))
+        object.__setattr__(self, "dispatch", _unique(self.dispatch, "dispatch"))
         object.__setattr__(
             self,
             "include",
@@ -263,8 +314,11 @@ class SweepSpec:
     def expand(self) -> List[Scenario]:
         """Deterministic plan: the pruned cross product, in axis order."""
         scenarios: List[Scenario] = []
-        for workload, sampling, seed, faults, placement in itertools.product(
-            self.workloads, self.sampling, self.seeds, self.faults, self.placements
+        for (
+            workload, sampling, seed, faults, placement, arrivals, dispatch
+        ) in itertools.product(
+            self.workloads, self.sampling, self.seeds, self.faults,
+            self.placements, self.arrivals, self.dispatch,
         ):
             combo = {
                 "workload": workload,
@@ -272,6 +326,8 @@ class SweepSpec:
                 "seed": seed,
                 "faults": faults,
                 "placement": placement,
+                "arrivals": arrivals,
+                "dispatch": dispatch,
             }
             if self.include and not any(_matches(combo, r) for r in self.include):
                 continue
@@ -284,6 +340,8 @@ class SweepSpec:
                     seed=seed,
                     faults=faults,
                     placement=placement,
+                    arrivals=arrivals,
+                    dispatch=dispatch,
                     requests=self.requests,
                     concurrency=self.concurrency,
                     cores=self.cores,
@@ -304,7 +362,7 @@ class SweepSpec:
         return content_key(self.to_dict())
 
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "name": self.name,
             "workloads": list(self.workloads),
             "sampling": list(self.sampling),
@@ -319,6 +377,13 @@ class SweepSpec:
             "include": [dict(r) for r in self.include],
             "exclude": [dict(r) for r in self.exclude],
         }
+        # Traffic axes appear only off-default so that the spec_key of
+        # every pre-traffic-layer spec (and its manifest) stays stable.
+        if self.arrivals != (CLOSED_ARRIVALS,):
+            payload["arrivals"] = list(self.arrivals)
+        if self.dispatch != (DEFAULT_DISPATCH,):
+            payload["dispatch"] = list(self.dispatch)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "SweepSpec":
@@ -331,7 +396,10 @@ class SweepSpec:
         if "name" not in payload:
             raise ValueError("sweep spec needs a 'name'")
         kwargs = dict(payload)
-        for axis in ("workloads", "sampling", "seeds", "faults", "placements"):
+        for axis in (
+            "workloads", "sampling", "seeds", "faults", "placements",
+            "arrivals", "dispatch",
+        ):
             if axis in kwargs:
                 kwargs[axis] = tuple(kwargs[axis])
         for rules in ("include", "exclude"):

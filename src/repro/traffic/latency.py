@@ -1,0 +1,188 @@
+"""Per-request latency accounting for open-system runs.
+
+The :class:`LatencyStore` records, for every admitted request, the three
+timestamps that matter to an open-loop study — arrival, first dispatch,
+and completion — and derives queueing delay (arrival → first run) and
+sojourn/total latency (arrival → completion).  Summaries report the
+p50/p95/p99 columns of a throughput-vs-tail-latency curve through
+:func:`repro.analysis.stats.weighted_percentile`, and
+:meth:`register_metrics` folds everything into the PR 2 metrics
+registry so ``--metrics-out`` snapshots carry the latency distributions.
+
+Shed requests (bounded-admission overload, see
+:class:`repro.traffic.TrafficConfig`) are counted but never measured:
+they were refused, not served.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.stats import weighted_mean, weighted_percentile
+
+__all__ = ["LatencyStore", "RequestLatency"]
+
+
+@dataclass
+class RequestLatency:
+    """One request's open-system timeline (cycles; us via the store)."""
+
+    request_id: int
+    kind: str
+    tenant: Optional[int]
+    arrival_cycle: float
+    start_cycle: Optional[float] = None
+    completion_cycle: Optional[float] = None
+
+
+class LatencyStore:
+    """Records per-request queueing + service latency with percentiles."""
+
+    def __init__(self, frequency_ghz: float):
+        if frequency_ghz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+        self.frequency_ghz = frequency_ghz
+        self._open: Dict[int, RequestLatency] = {}
+        #: Completed records, in completion order (deterministic).
+        self.records: List[RequestLatency] = []
+        self.shed = 0
+        self.first_arrival_cycle: Optional[float] = None
+        self.last_completion_cycle: Optional[float] = None
+
+    # ------------------------------------------------------------ recording
+
+    def on_arrival(
+        self,
+        request_id: int,
+        kind: str,
+        cycle: float,
+        tenant: Optional[int] = None,
+    ) -> None:
+        if request_id in self._open:
+            raise ValueError(f"request {request_id} already arrived")
+        self._open[request_id] = RequestLatency(
+            request_id=request_id, kind=kind, tenant=tenant, arrival_cycle=cycle
+        )
+        if self.first_arrival_cycle is None:
+            self.first_arrival_cycle = cycle
+
+    def on_start(self, request_id: int, cycle: float) -> None:
+        record = self._open.get(request_id)
+        if record is not None and record.start_cycle is None:
+            record.start_cycle = cycle
+
+    def on_complete(self, request_id: int, cycle: float) -> None:
+        record = self._open.pop(request_id)
+        record.completion_cycle = cycle
+        self.records.append(record)
+        self.last_completion_cycle = cycle
+
+    def on_shed(self, cycle: float) -> None:
+        self.shed += 1
+
+    # ------------------------------------------------------------- queries
+
+    def _us(self, cycles: float) -> float:
+        return cycles / (self.frequency_ghz * 1e3)
+
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+    def latencies_us(self) -> List[float]:
+        """Total (queueing + service) latency per completed request."""
+        return [
+            self._us(r.completion_cycle - r.arrival_cycle) for r in self.records
+        ]
+
+    def queue_delays_us(self) -> List[float]:
+        """Arrival → first-dispatch delay per completed request."""
+        return [
+            self._us(r.start_cycle - r.arrival_cycle)
+            for r in self.records
+            if r.start_cycle is not None
+        ]
+
+    def throughput_rps(self) -> Optional[float]:
+        """Completed requests per second of simulated run extent."""
+        if (
+            not self.records
+            or self.first_arrival_cycle is None
+            or self.last_completion_cycle is None
+        ):
+            return None
+        span = self.last_completion_cycle - self.first_arrival_cycle
+        if span <= 0:
+            return None
+        return self.completed / (self._us(span) / 1e6)
+
+    @staticmethod
+    def _stats(values: List[float]) -> Dict[str, Optional[float]]:
+        if not values:
+            return {"mean": None, "p50": None, "p95": None, "p99": None}
+        return {
+            "mean": weighted_mean(values),
+            "p50": weighted_percentile(values, 50.0),
+            "p95": weighted_percentile(values, 95.0),
+            "p99": weighted_percentile(values, 99.0),
+        }
+
+    def summary(self) -> Dict:
+        """JSON-ready run summary: counts, throughput, latency columns."""
+        return {
+            "completed": self.completed,
+            "shed": self.shed,
+            "throughput_rps": self.throughput_rps(),
+            "latency_us": self._stats(self.latencies_us()),
+            "queue_us": self._stats(self.queue_delays_us()),
+        }
+
+    def rows_by_kind(self) -> List[Dict]:
+        """Per-request-kind latency table rows (sorted by kind)."""
+        by_kind: Dict[str, List[float]] = {}
+        for record in self.records:
+            by_kind.setdefault(record.kind, []).append(
+                self._us(record.completion_cycle - record.arrival_cycle)
+            )
+        return [
+            {
+                "kind": kind,
+                "requests": len(values),
+                "mean_us": weighted_mean(values),
+                "p99_us": weighted_percentile(values, 99.0),
+            }
+            for kind, values in sorted(by_kind.items())
+        ]
+
+    def rows_by_tenant(self) -> List[Dict]:
+        """Per-tenant latency rows (empty when arrivals carry no tenants)."""
+        by_tenant: Dict[int, List[float]] = {}
+        for record in self.records:
+            if record.tenant is None:
+                continue
+            by_tenant.setdefault(record.tenant, []).append(
+                self._us(record.completion_cycle - record.arrival_cycle)
+            )
+        return [
+            {
+                "tenant": tenant,
+                "requests": len(values),
+                "mean_us": weighted_mean(values),
+                "p99_us": weighted_percentile(values, 99.0),
+            }
+            for tenant, values in sorted(by_tenant.items())
+        ]
+
+    def register_metrics(self, registry) -> None:
+        """Fill a :class:`repro.obs.metrics.MetricsRegistry` from the store."""
+        registry.counter("requests_measured").inc(self.completed)
+        registry.counter("requests_shed").inc(self.shed)
+        latency = registry.histogram("request_latency_us")
+        queueing = registry.histogram("request_queue_us")
+        for value in self.latencies_us():
+            latency.observe(value)
+        for value in self.queue_delays_us():
+            # Zero queueing (dispatched the same cycle) is real but the
+            # histogram rejects non-positive weights, not values.
+            queueing.observe(value)

@@ -45,6 +45,39 @@ class TestWeightedMean:
         with pytest.raises(ValueError):
             weighted_mean([1.0, 2.0], [0.0, 0.0])
 
+    def test_error_messages_name_the_problem(self):
+        """Empty input and zero total weight fail with a clear message,
+        not a numpy warning plus a NaN result."""
+        with pytest.raises(ValueError, match="empty input"):
+            weighted_mean([])
+        with pytest.raises(ValueError, match="total weight is zero"):
+            weighted_mean([1.0, 2.0], [0.0, 0.0])
+        with pytest.raises(ValueError, match="empty input"):
+            weighted_percentile([], 50)
+        with pytest.raises(ValueError, match="total weight is zero"):
+            weighted_percentile([1.0], 50, [0.0])
+
+    def test_nan_values_raise(self):
+        with pytest.raises(ValueError, match="NaN"):
+            weighted_mean([1.0, float("nan")])
+        with pytest.raises(ValueError, match="NaN"):
+            weighted_percentile([float("nan")], 50)
+
+    def test_nan_or_inf_weights_raise(self):
+        with pytest.raises(ValueError, match="finite"):
+            weighted_mean([1.0, 2.0], [1.0, float("nan")])
+        with pytest.raises(ValueError, match="finite"):
+            weighted_mean([1.0, 2.0], [1.0, float("inf")])
+        with pytest.raises(ValueError, match="finite"):
+            weighted_percentile([1.0, 2.0], 50, [float("inf"), 1.0])
+
+    def test_never_returns_nan(self):
+        """The hardened validation means any value that comes back is a
+        real number (the LatencyStore percentile columns rely on this)."""
+        result = weighted_mean([1.0, 2.0], [0.0, 3.0])
+        assert np.isfinite(result)
+        assert weighted_percentile([5.0], 99.0, [2.0]) == 5.0
+
     @given(
         st.lists(finite_floats(-1e6, 1e6), min_size=1, max_size=30),
         st.data(),

@@ -1,0 +1,121 @@
+"""LatencyStore accounting tests (cycles in, microseconds out)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.traffic import LatencyStore
+
+GHZ = 3.0
+
+
+def cycles(us):
+    return us * GHZ * 1e3
+
+
+class TestRecording:
+    def test_queueing_and_total_latency(self):
+        store = LatencyStore(GHZ)
+        store.on_arrival(0, "payment", cycles(10.0))
+        store.on_start(0, cycles(15.0))
+        store.on_complete(0, cycles(40.0))
+        assert store.latencies_us() == pytest.approx([30.0])
+        assert store.queue_delays_us() == pytest.approx([5.0])
+
+    def test_duplicate_arrival_raises(self):
+        store = LatencyStore(GHZ)
+        store.on_arrival(0, "payment", 0.0)
+        with pytest.raises(ValueError, match="already arrived"):
+            store.on_arrival(0, "payment", 1.0)
+
+    def test_only_first_start_counts(self):
+        """A request resumed after preemption keeps its first-dispatch time."""
+        store = LatencyStore(GHZ)
+        store.on_arrival(0, "payment", cycles(0.0))
+        store.on_start(0, cycles(2.0))
+        store.on_start(0, cycles(9.0))
+        store.on_complete(0, cycles(10.0))
+        assert store.queue_delays_us() == pytest.approx([2.0])
+
+    def test_shed_requests_counted_never_measured(self):
+        store = LatencyStore(GHZ)
+        store.on_arrival(0, "payment", 0.0)
+        store.on_shed(cycles(1.0))
+        store.on_shed(cycles(2.0))
+        store.on_complete(0, cycles(5.0))
+        assert store.shed == 2
+        assert store.completed == 1
+        assert len(store.latencies_us()) == 1
+
+
+class TestSummary:
+    def test_summary_columns(self):
+        store = LatencyStore(GHZ)
+        for i in range(100):
+            store.on_arrival(i, "k", cycles(i * 10.0))
+            store.on_start(i, cycles(i * 10.0 + 1.0))
+            store.on_complete(i, cycles(i * 10.0 + 1.0 + (i + 1)))
+        summary = store.summary()
+        assert summary["completed"] == 100
+        assert summary["shed"] == 0
+        # Latencies are 2..101 us; p50/p95/p99 track the order statistics.
+        assert summary["latency_us"]["p50"] == pytest.approx(51.0)
+        assert summary["latency_us"]["p95"] == pytest.approx(96.0)
+        assert summary["latency_us"]["p99"] == pytest.approx(100.0)
+        assert summary["queue_us"]["mean"] == pytest.approx(1.0)
+
+    def test_empty_store_summary_is_none_filled(self):
+        summary = LatencyStore(GHZ).summary()
+        assert summary["completed"] == 0
+        assert summary["throughput_rps"] is None
+        assert summary["latency_us"]["p99"] is None
+
+    def test_throughput_over_run_extent(self):
+        store = LatencyStore(GHZ)
+        store.on_arrival(0, "k", cycles(0.0))
+        store.on_arrival(1, "k", cycles(100.0))
+        store.on_complete(0, cycles(500.0))
+        store.on_complete(1, cycles(1000.0))
+        # 2 requests over 1000 us of extent = 2000 req/s.
+        assert store.throughput_rps() == pytest.approx(2000.0)
+
+
+class TestGroupedRows:
+    def test_rows_by_kind_sorted(self):
+        store = LatencyStore(GHZ)
+        for i, kind in enumerate(["b", "a", "b"]):
+            store.on_arrival(i, kind, cycles(0.0))
+            store.on_complete(i, cycles(10.0 * (i + 1)))
+        rows = store.rows_by_kind()
+        assert [r["kind"] for r in rows] == ["a", "b"]
+        assert rows[0]["requests"] == 1
+        assert rows[1]["requests"] == 2
+        assert rows[1]["mean_us"] == pytest.approx(20.0)
+
+    def test_rows_by_tenant_skips_untagged(self):
+        store = LatencyStore(GHZ)
+        store.on_arrival(0, "k", 0.0, tenant=2)
+        store.on_arrival(1, "k", 0.0)
+        store.on_complete(0, cycles(5.0))
+        store.on_complete(1, cycles(5.0))
+        rows = store.rows_by_tenant()
+        assert len(rows) == 1
+        assert rows[0]["tenant"] == 2
+
+
+class TestMetricsRegistration:
+    def test_counters_and_histograms(self):
+        store = LatencyStore(GHZ)
+        store.on_arrival(0, "k", cycles(0.0))
+        store.on_start(0, cycles(1.0))
+        store.on_complete(0, cycles(4.0))
+        store.on_shed(cycles(5.0))
+        registry = MetricsRegistry()
+        store.register_metrics(registry)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["requests_measured"] == 1
+        assert snapshot["counters"]["requests_shed"] == 1
+        assert snapshot["histograms"]["request_latency_us"]["count"] == 1
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError, match="frequency"):
+            LatencyStore(0.0)
