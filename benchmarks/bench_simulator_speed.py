@@ -1,79 +1,293 @@
-"""Engine microbenchmarks: how fast does the simulator itself run?
+"""Engine microbenchmarks: the simulator fast path and the core DPs.
 
-Unlike the per-figure benches (one timed round of a whole experiment),
-these are classic repeated-round microbenchmarks of the core engine and
-the two O(m*n) dynamic programs, guarding against performance regressions
-in the inner loops.
+Two families, both *comparative* — every assertion is a measured ratio
+between two implementations run on the same machine in the same
+process, never an absolute wall-clock bound (absolute bounds made this
+bench flaky on slow or throttled CI runners):
+
+* **simulator fast path** — the calendar/SoA engine
+  (:class:`~repro.kernel.fastpath.FastpathSimulator`) against the
+  reference event loop on identical configurations.  The
+  loop-dominated microbenchmark workloads must show the headline
+  >= 3x speedup; the server workloads are reported informationally
+  (per-request workload *generation* bounds their end-to-end ratio,
+  see docs/perf.md).  Output byte-identity is asserted in-bench: the
+  fast path is only a win if it is also *exact*.
+* **dynamic programs** — the row-vectorized DTW and Levenshtein
+  kernels against straightforward pure-Python cell-loop baselines
+  computing the same recurrences.
+
+Speedup assertions are hardware-gated (>= 2 usable CPUs); on smaller
+machines the measured ratio is reported and the assertion skips.  Run
+directly for a readable report:
+
+    PYTHONPATH=src python benchmarks/bench_simulator_speed.py
 """
+
+from __future__ import annotations
+
+import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.core.distances import levenshtein_distance
 from repro.core.dtw import dtw_distance
+from repro.kernel.fastpath import FastpathSimulator, ReferenceSimulator
 from repro.kernel.sampling import SamplingPolicy
-from repro.kernel.simulator import ServerSimulator, SimConfig
+from repro.kernel.simulator import SimConfig
+from repro.obs.trace import TraceCollector, events_to_jsonl
 from repro.workloads.registry import make_workload
 
+#: Headline requirement on the loop-dominated microbenchmark workloads.
+MIN_FASTPATH_SPEEDUP = 3.0
+#: Vectorized DPs vs. their pure-Python cell loops (conservative: the
+#: measured gap is an order of magnitude).
+MIN_DP_SPEEDUP = 2.0
+ROUNDS = 3
 
-def run_webserver(collector=None):
-    config = SimConfig(
+#: (workload, num_requests, asserted).  The mbench pair spends its time
+#: in the event loop proper — that is what the fast path accelerates —
+#: while the server workloads also pay per-request generation costs the
+#: engine cannot touch.
+SIM_CASES = (
+    ("mbench_spin", 60, True),
+    ("mbench_data", 15, True),
+    ("tpcc", 40, False),
+    ("webserver", 40, False),
+)
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def best_of(fn, rounds=ROUNDS):
+    """Best wall time over ``rounds`` runs (robust against CI jitter)."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+# ----------------------------------------------------- simulator fast path
+
+
+def _sim_config(num_requests, collector=None):
+    return SimConfig(
         sampling=SamplingPolicy.interrupt(10.0),
-        num_requests=50,
+        num_requests=num_requests,
         concurrency=8,
         seed=1,
         collector=collector,
     )
-    return ServerSimulator(make_workload("webserver"), config).run()
 
 
-def test_engine_throughput(benchmark):
-    result = benchmark.pedantic(run_webserver, rounds=3, iterations=1)
-    # Sanity: a real run happened.
-    assert len(result.traces) == 50
-    samples = result.sampler_stats.total_samples
-    assert samples > 500
-    # The engine must stay fast enough for the full harness: 50 web
-    # requests at 10us sampling well under a second.  The default config
-    # has tracing disabled — this bench also pins the no-op fast path.
-    assert benchmark.stats.stats.mean < 1.0
+def _run_sim(sim_cls, workload, num_requests, collector=None):
+    config = _sim_config(num_requests, collector=collector)
+    return sim_cls(make_workload(workload), config).run()
 
 
-def test_engine_throughput_with_tracing(benchmark):
-    from repro.obs.trace import TraceCollector
+def _identity_fingerprint(workload, num_requests, sim_cls):
+    collector = TraceCollector(capacity=500_000)
+    result = _run_sim(sim_cls, workload, num_requests, collector=collector)
+    traces = tuple(
+        trace.cycles.tobytes()
+        + trace.instructions.tobytes()
+        + trace.start.tobytes()
+        + trace.core.tobytes()
+        for trace in result.traces
+    )
+    return (
+        events_to_jsonl(collector.events, dropped=collector.dropped),
+        result.wall_cycles,
+        result.sampler_stats.as_dict(),
+        traces,
+    )
 
-    def run_traced():
-        return run_webserver(collector=TraceCollector())
 
-    result = benchmark.pedantic(run_traced, rounds=3, iterations=1)
-    assert len(result.traces) == 50
-    # Event emission is append-only bookkeeping; even fully enabled it
-    # must stay within the same order of magnitude as the plain run.
-    assert benchmark.stats.stats.mean < 2.0
+def run_simulator_benchmark():
+    rows = []
+    for workload, num_requests, asserted in SIM_CASES:
+        ref_result, t_ref = best_of(
+            lambda w=workload, n=num_requests: _run_sim(ReferenceSimulator, w, n)
+        )
+        fast_result, t_fast = best_of(
+            lambda w=workload, n=num_requests: _run_sim(FastpathSimulator, w, n)
+        )
+        rows.append(
+            {
+                "workload": workload,
+                "num_requests": num_requests,
+                "asserted": asserted,
+                "t_ref": t_ref,
+                "t_fast": t_fast,
+                "speedup": t_ref / t_fast,
+                "traces_ok": (
+                    len(ref_result.traces)
+                    == len(fast_result.traces)
+                    == num_requests
+                ),
+            }
+        )
+    return rows
 
 
-def test_dtw_speed(benchmark):
+@pytest.fixture(scope="module")
+def sim_report():
+    return run_simulator_benchmark()
+
+
+class TestFastpathBench:
+    def test_runs_are_real(self, sim_report):
+        assert all(row["traces_ok"] for row in sim_report)
+
+    @pytest.mark.parametrize("workload", ["mbench_spin", "webserver"])
+    def test_byte_identical_output(self, workload):
+        fast = _identity_fingerprint(workload, 15, FastpathSimulator)
+        ref = _identity_fingerprint(workload, 15, ReferenceSimulator)
+        assert fast == ref
+
+    def test_fastpath_speedup(self, sim_report):
+        asserted = [row for row in sim_report if row["asserted"]]
+        worst = min(asserted, key=lambda row: row["speedup"])
+        if usable_cpus() < 2:
+            pytest.skip(
+                f"only {usable_cpus()} usable CPU(s); worst asserted speedup "
+                f"{worst['speedup']:.2f}x on {worst['workload']} "
+                f"(assertion needs >= 2 CPUs)"
+            )
+        assert worst["speedup"] >= MIN_FASTPATH_SPEEDUP, (
+            f"{worst['workload']}: fastpath speedup {worst['speedup']:.2f}x "
+            f"below the required {MIN_FASTPATH_SPEEDUP:.0f}x "
+            f"(ref {worst['t_ref']:.3f}s, fast {worst['t_fast']:.3f}s)"
+        )
+
+
+# ------------------------------------------------------- dynamic programs
+
+
+def dtw_cell_loop(x, y, p):
+    """Pure-Python cell-by-cell version of the penalized-DTW recurrence."""
+    n = len(y)
+    row = [0.0] * n
+    row[0] = abs(x[0] - y[0])
+    for j in range(1, n):
+        row[j] = row[j - 1] + abs(x[0] - y[j]) + p
+    for i in range(1, len(x)):
+        new = [0.0] * n
+        new[0] = row[0] + abs(x[i] - y[0]) + p
+        for j in range(1, n):
+            cost = abs(x[i] - y[j])
+            new[j] = min(
+                row[j - 1] + cost,        # synchronous (diagonal)
+                row[j] + cost + p,        # asynchronous along x
+                new[j - 1] + cost + p,    # asynchronous along y
+            )
+        row = new
+    return row[-1]
+
+
+def levenshtein_cell_loop(a, b):
+    """Pure-Python two-row edit-distance DP."""
+    previous = list(range(len(b) + 1))
+    for i, token_a in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, token_b in enumerate(b, start=1):
+            current[j] = min(
+                previous[j - 1] + (token_a != token_b),
+                previous[j] + 1,
+                current[j - 1] + 1,
+            )
+        previous = current
+    return previous[-1]
+
+
+def run_dp_benchmark():
     rng = np.random.default_rng(0)
     x = rng.random(400)
     y = rng.random(400)
-
-    distance = benchmark.pedantic(
-        lambda: dtw_distance(x, y, asynchrony_penalty=0.5),
-        rounds=5,
-        iterations=2,
-    )
-    assert np.isfinite(distance)
-    # Row-vectorized DP: a 400x400 instance in a few milliseconds.
-    assert benchmark.stats.stats.mean < 0.25
-
-
-def test_levenshtein_speed(benchmark):
-    rng = np.random.default_rng(0)
+    x_list, y_list = x.tolist(), y.tolist()
     a = [str(t) for t in rng.integers(0, 12, size=300)]
     b = [str(t) for t in rng.integers(0, 12, size=300)]
 
-    distance = benchmark.pedantic(
-        lambda: levenshtein_distance(a, b), rounds=5, iterations=2
+    dtw_fast, t_dtw_fast = best_of(
+        lambda: dtw_distance(x, y, asynchrony_penalty=0.5)
     )
-    assert 0 <= distance <= 300
-    assert benchmark.stats.stats.mean < 0.25
+    dtw_slow, t_dtw_slow = best_of(
+        lambda: dtw_cell_loop(x_list, y_list, 0.5), rounds=1
+    )
+    lev_fast, t_lev_fast = best_of(lambda: levenshtein_distance(a, b))
+    lev_slow, t_lev_slow = best_of(lambda: levenshtein_cell_loop(a, b), rounds=1)
+
+    return {
+        "dtw_fast": dtw_fast,
+        "dtw_slow": dtw_slow,
+        "dtw_speedup": t_dtw_slow / t_dtw_fast,
+        "t_dtw_fast": t_dtw_fast,
+        "t_dtw_slow": t_dtw_slow,
+        "lev_fast": lev_fast,
+        "lev_slow": lev_slow,
+        "lev_speedup": t_lev_slow / t_lev_fast,
+        "t_lev_fast": t_lev_fast,
+        "t_lev_slow": t_lev_slow,
+    }
+
+
+@pytest.fixture(scope="module")
+def dp_report():
+    return run_dp_benchmark()
+
+
+class TestDynamicProgramBench:
+    def test_dtw_matches_cell_loop(self, dp_report):
+        assert dp_report["dtw_fast"] == pytest.approx(
+            dp_report["dtw_slow"], rel=1e-9
+        )
+
+    def test_levenshtein_matches_cell_loop(self, dp_report):
+        assert dp_report["lev_fast"] == dp_report["lev_slow"]
+
+    @pytest.mark.parametrize("key", ["dtw", "lev"])
+    def test_vectorized_dp_speedup(self, dp_report, key):
+        speedup = dp_report[f"{key}_speedup"]
+        if usable_cpus() < 2:
+            pytest.skip(
+                f"only {usable_cpus()} usable CPU(s); measured {key} "
+                f"speedup {speedup:.2f}x (assertion needs >= 2 CPUs)"
+            )
+        assert speedup >= MIN_DP_SPEEDUP, (
+            f"vectorized {key} only {speedup:.2f}x over the cell loop"
+        )
+
+
+def main() -> None:
+    print(f"simulator fast path ({usable_cpus()} usable CPU(s)):")
+    for row in run_simulator_benchmark():
+        tag = "assert >= 3x" if row["asserted"] else "informational"
+        print(
+            f"  {row['workload']:<12s} {row['num_requests']:>3d} requests  "
+            f"ref {row['t_ref']:7.3f}s  fast {row['t_fast']:7.3f}s  "
+            f"{row['speedup']:5.2f}x  [{tag}]"
+        )
+    dp = run_dp_benchmark()
+    print("dynamic programs (vectorized vs pure-Python cell loop):")
+    print(
+        f"  dtw 400x400          loop {dp['t_dtw_slow']:7.3f}s  "
+        f"vec {dp['t_dtw_fast']:7.3f}s  {dp['dtw_speedup']:5.1f}x"
+    )
+    print(
+        f"  levenshtein 300x300  loop {dp['t_lev_slow']:7.3f}s  "
+        f"vec {dp['t_lev_fast']:7.3f}s  {dp['lev_speedup']:5.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -26,14 +26,48 @@ class SamplingContext(Enum):
     INTERRUPT = "interrupt"
 
 
-@dataclass(frozen=True)
 class CounterSnapshot:
-    """Cumulative counter values at one instant for one core."""
+    """Cumulative counter values at one instant for one core.
 
-    cycles: float = 0.0
-    instructions: float = 0.0
-    l2_refs: float = 0.0
-    l2_misses: float = 0.0
+    Hand-written rather than a frozen dataclass: snapshots are allocated
+    on the simulator's per-sample flush path, where the frozen-dataclass
+    ``object.__setattr__`` init is measurable.  Value semantics (equality,
+    hashing, repr) match the previous dataclass exactly.
+    """
+
+    __slots__ = ("cycles", "instructions", "l2_refs", "l2_misses")
+
+    def __init__(
+        self,
+        cycles: float = 0.0,
+        instructions: float = 0.0,
+        l2_refs: float = 0.0,
+        l2_misses: float = 0.0,
+    ):
+        self.cycles = cycles
+        self.instructions = instructions
+        self.l2_refs = l2_refs
+        self.l2_misses = l2_misses
+
+    def __repr__(self) -> str:
+        return (
+            f"CounterSnapshot(cycles={self.cycles!r}, "
+            f"instructions={self.instructions!r}, "
+            f"l2_refs={self.l2_refs!r}, l2_misses={self.l2_misses!r})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CounterSnapshot):
+            return NotImplemented
+        return (
+            self.cycles == other.cycles
+            and self.instructions == other.instructions
+            and self.l2_refs == other.l2_refs
+            and self.l2_misses == other.l2_misses
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.cycles, self.instructions, self.l2_refs, self.l2_misses))
 
     def __sub__(self, other: "CounterSnapshot") -> "CounterSnapshot":
         return CounterSnapshot(

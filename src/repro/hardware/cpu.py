@@ -137,6 +137,10 @@ def compute_effective_rates(
     return rates
 
 
+#: Shared zero delta for no-progress advances (frozen, so safe to reuse).
+_EMPTY_SNAPSHOT = CounterSnapshot()
+
+
 @dataclass
 class CoreState:
     """Mutable per-core execution state with lazy counter accumulation."""
@@ -163,18 +167,21 @@ class CoreState:
         # this core simply makes no progress (do not rewind the clock).
         elapsed = now_cycle - self.last_advance_cycle
         if elapsed <= 0.0:
-            return CounterSnapshot()
+            return _EMPTY_SNAPSHOT
         self.last_advance_cycle = now_cycle
-        if self.rates is None or elapsed == 0.0:
-            return CounterSnapshot()
-        instructions = self.rates.instructions_for_cycles(elapsed)
-        delta = self.rates.counters_for_instructions(instructions)
-        # Re-anchor cycles on wall time to avoid float drift.
+        rates = self.rates
+        if rates is None:
+            return _EMPTY_SNAPSHOT
+        # One direct snapshot: cycles re-anchored on wall time to avoid
+        # float drift, refs/misses with the exact operation order of
+        # EffectiveRates.counters_for_instructions.
+        instructions = elapsed / rates.cpi
+        refs = instructions * rates.l2_refs_per_ins
         delta = CounterSnapshot(
             cycles=elapsed,
-            instructions=delta.instructions,
-            l2_refs=delta.l2_refs,
-            l2_misses=delta.l2_misses,
+            instructions=instructions,
+            l2_refs=refs,
+            l2_misses=refs * rates.l2_miss_ratio,
         )
         self.total = self.total + delta
         self.busy_cycles += elapsed

@@ -100,6 +100,19 @@ class SamplingPolicy:
             return name in self.trigger_syscalls
         return False
 
+    def trigger_acceptor(self):
+        """A ``name -> bool`` callable equivalent to :meth:`accepts_trigger`.
+
+        The policy is frozen, so the mode dispatch can be resolved once
+        per run instead of per syscall: the returned callable is a
+        constant predicate or a bare frozenset membership test.
+        """
+        if self.mode is SamplingMode.SYSCALL_TRIGGERED:
+            return lambda name: True
+        if self.mode is SamplingMode.TRANSITION_SIGNAL:
+            return self.trigger_syscalls.__contains__
+        return lambda name: False
+
 
 @dataclass
 class SamplerStats:

@@ -60,13 +60,17 @@ class Task:
 
     @property
     def remaining_in_stage(self) -> float:
-        """Instructions left in this task's whole stage (dispatch load view)."""
-        done_prior = sum(
-            p.instructions for p in self.stage.phases[: self.phase_index]
-        )
+        """Instructions left in this task's whole stage (dispatch load view).
+
+        O(1) via the stage's cached cumulative-instruction table; the
+        integer prefix sum is exact, so the float result is identical to
+        summing the prior phases on every call.
+        """
+        stage = self.stage
+        done_prior = stage.cumulative_instructions[self.phase_index]
         return max(
             0.0,
-            self.stage.instructions - done_prior - self.instructions_done_in_phase,
+            stage.instructions - done_prior - self.instructions_done_in_phase,
         )
 
     @property

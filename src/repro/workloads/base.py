@@ -13,6 +13,7 @@ counter timeline, never the spec.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterator, List, Optional, Protocol, Tuple
 
 import numpy as np
@@ -65,9 +66,27 @@ class Stage:
         if not self.phases:
             raise ValueError(f"stage {self.tier!r} has no phases")
 
-    @property
+    # cached_property writes straight to __dict__, which bypasses the
+    # frozen-dataclass __setattr__ guard; the values are pure functions
+    # of the (immutable) phase tuple.
+
+    @cached_property
     def instructions(self) -> int:
         return sum(p.instructions for p in self.phases)
+
+    @cached_property
+    def cumulative_instructions(self) -> Tuple[int, ...]:
+        """``[i]`` = instructions in phases before index ``i`` (exact ints).
+
+        Lets the simulator's dispatch-load view compute remaining stage
+        work in O(1) instead of re-summing the phase prefix per query.
+        """
+        total = 0
+        prefix = [0]
+        for p in self.phases:
+            total += p.instructions
+            prefix.append(total)
+        return tuple(prefix)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,267 @@
+"""Differential spine: fastpath vs. reference must be byte-identical.
+
+Every test here runs the same configuration through
+:class:`~repro.kernel.fastpath.FastpathSimulator` and
+:class:`~repro.kernel.fastpath.ReferenceSimulator` and demands that
+*everything observable* matches to the byte: the serialized JSONL event
+stream, every per-request counter array (compensated and raw), wall
+cycles, shed counts, sampler tallies, and the open-system latency
+records.  The fast path is an optimization, not a model change — any
+single-bit divergence is a bug, so no tolerances appear anywhere in
+this file.
+
+The grid deliberately crosses the axes that exercise different parts of
+the hot path: all registry workloads (single- and multi-tier), all four
+sampling techniques (interrupt rows, ratecall rows, the trigger
+predicate), open- vs. closed-loop arrivals, non-trivial dispatch, the
+contention-easing scheduler (resched events), bounded-admission
+overload (shedding), and distributed tier placement (network hand-off
+events).
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.hardware.platform import cluster_machine
+from repro.kernel.contention import ContentionEasingScheduler
+from repro.kernel.fastpath import (
+    FASTPATH_ENV,
+    FastpathSimulator,
+    ReferenceSimulator,
+    fastpath_enabled,
+)
+from repro.kernel.sampling import SamplingMode, SamplingPolicy
+from repro.kernel.simulator import ServerSimulator, SimConfig
+from repro.obs.trace import TraceCollector, events_to_jsonl
+from repro.traffic import (
+    JoinShortestQueue,
+    LeastOutstandingWork,
+    OnOffArrivals,
+    PoissonArrivals,
+    RandomDispatch,
+    TrafficConfig,
+)
+from repro.workloads.registry import available_workloads, make_workload
+
+TRACE_FIELDS = (
+    "start",
+    "end",
+    "core",
+    "cycles",
+    "instructions",
+    "l2_refs",
+    "l2_misses",
+    "raw_cycles",
+    "raw_instructions",
+    "raw_l2_refs",
+    "raw_l2_misses",
+)
+
+SAMPLING_POLICIES = {
+    "cs_only": SamplingPolicy(mode=SamplingMode.CONTEXT_SWITCH_ONLY),
+    "interrupt": SamplingPolicy.interrupt(50.0),
+    "syscall": SamplingPolicy.syscall_triggered(80.0, 400.0),
+    "transition": SamplingPolicy.transition_signal(
+        80.0, 400.0, {"read", "stat", "write"}
+    ),
+}
+
+
+def _run(sim_cls, workload_name, config_factory, **config_kwargs):
+    collector = TraceCollector(capacity=500_000)
+    config_kwargs.setdefault("num_requests", 20)
+    config_kwargs.setdefault("seed", 7)
+    if config_factory is not None:
+        # Fresh stateful objects (schedulers learn across runs) so the
+        # reference run never sees state the fastpath run accumulated.
+        config_kwargs.update(config_factory())
+    config = SimConfig(collector=collector, **config_kwargs)
+    result = sim_cls(make_workload(workload_name), config).run()
+    return result, collector
+
+
+def _latency_fingerprint(store):
+    """Exact (not summarized) view of the latency store."""
+    if store is None:
+        return None
+    records = [
+        (r.request_id, r.kind, r.tenant, r.arrival_cycle, r.start_cycle,
+         r.completion_cycle)
+        for r in store.records
+    ]
+    return records, store.shed, json.dumps(store.summary(), sort_keys=True)
+
+
+def assert_identical(workload_name, config_factory=None, **config_kwargs):
+    fast, fast_col = _run(
+        FastpathSimulator, workload_name, config_factory, **config_kwargs
+    )
+    ref, ref_col = _run(
+        ReferenceSimulator, workload_name, config_factory, **config_kwargs
+    )
+
+    fast_jsonl = events_to_jsonl(fast_col.events, dropped=fast_col.dropped)
+    ref_jsonl = events_to_jsonl(ref_col.events, dropped=ref_col.dropped)
+    if fast_jsonl != ref_jsonl:
+        # Don't hand pytest two multi-megabyte strings to diff; report
+        # the first diverging line instead.
+        for lineno, (fast_line, ref_line) in enumerate(
+            zip(fast_jsonl.splitlines(), ref_jsonl.splitlines()), start=1
+        ):
+            if fast_line != ref_line:
+                pytest.fail(
+                    f"{workload_name}: event JSONL diverged at line {lineno}:\n"
+                    f"  fastpath:  {fast_line}\n  reference: {ref_line}"
+                )
+        pytest.fail(
+            f"{workload_name}: event JSONL diverged in length "
+            f"({len(fast_jsonl)} vs {len(ref_jsonl)} bytes)"
+        )
+    assert fast.wall_cycles == ref.wall_cycles
+    assert fast.requests_shed == ref.requests_shed
+    assert fast.sampler_stats.as_dict() == ref.sampler_stats.as_dict()
+    assert fast.timeline_cycles.tobytes() == ref.timeline_cycles.tobytes()
+    assert fast.busy_cycles_per_core.tobytes() == ref.busy_cycles_per_core.tobytes()
+    assert _latency_fingerprint(fast.latency) == _latency_fingerprint(ref.latency)
+    assert len(fast.traces) == len(ref.traces)
+    for fast_trace, ref_trace in zip(fast.traces, ref.traces):
+        assert fast_trace.spec.request_id == ref_trace.spec.request_id
+        assert fast_trace.arrival_cycle == ref_trace.arrival_cycle
+        assert fast_trace.completion_cycle == ref_trace.completion_cycle
+        assert fast_trace.syscall_events == ref_trace.syscall_events
+        for field in TRACE_FIELDS:
+            assert getattr(fast_trace, field).tobytes() == (
+                getattr(ref_trace, field).tobytes()
+            ), f"{workload_name}: trace field {field!r} diverged"
+    return fast, ref
+
+
+class TestWorkloadSamplingGrid:
+    """All registry workloads x all four sampling techniques."""
+
+    @pytest.mark.parametrize(
+        "workload,policy",
+        list(itertools.product(available_workloads(), SAMPLING_POLICIES)),
+        ids=lambda value: str(value),
+    )
+    def test_byte_identical(self, workload, policy):
+        assert_identical(workload, sampling=SAMPLING_POLICIES[policy])
+
+
+class TestTrafficLayer:
+    """Open-loop arrivals, non-trivial dispatch, overload shedding."""
+
+    def test_poisson_jsq_overload_sheds_identically(self):
+        traffic = TrafficConfig(
+            arrivals=PoissonArrivals(rate_per_s=20_000.0),
+            dispatch=JoinShortestQueue(),
+            admission_limit=6,
+        )
+        fast, ref = assert_identical(
+            "webserver", traffic=traffic, num_requests=40, concurrency=6
+        )
+        # The scenario must actually exercise the shedding path.
+        assert fast.requests_shed > 0
+        assert fast.requests_shed == ref.requests_shed
+
+    def test_onoff_random_dispatch(self):
+        traffic = TrafficConfig(
+            arrivals=OnOffArrivals(
+                rate_on_per_s=8_000.0,
+                rate_off_per_s=200.0,
+                on_ms=2.0,
+                off_ms=2.0,
+            ),
+            dispatch=RandomDispatch(),
+        )
+        assert_identical(
+            "tpcc",
+            traffic=traffic,
+            sampling=SAMPLING_POLICIES["syscall"],
+            num_requests=24,
+        )
+
+    def test_least_outstanding_work_dispatch(self):
+        traffic = TrafficConfig(
+            arrivals=PoissonArrivals(rate_per_s=4_000.0),
+            dispatch=LeastOutstandingWork(),
+        )
+        assert_identical("webwork", traffic=traffic, num_requests=24)
+
+    def test_legacy_arrival_rate_shorthand(self):
+        assert_identical("mbench_data", arrival_rate_per_s=5_000.0)
+
+
+class TestSchedulerAndPlacement:
+    """Resched events and cross-machine stage hand-offs."""
+
+    def test_contention_easing_scheduler(self):
+        assert_identical(
+            "webserver",
+            config_factory=lambda: {
+                "scheduler": ContentionEasingScheduler(resched_interval_us=500.0)
+            },
+            sampling=SAMPLING_POLICIES["interrupt"],
+        )
+
+    def test_adaptive_contention_scheduler(self):
+        assert_identical(
+            "webwork",
+            config_factory=lambda: {
+                "scheduler": ContentionEasingScheduler(
+                    adaptive_threshold=True, adaptive_warmup=20
+                )
+            },
+            num_requests=12,
+        )
+
+    def test_distributed_tier_placement(self):
+        assert_identical(
+            "rubis",
+            machine=cluster_machine(2, 4),
+            tier_placement={"mysql": 1, "jboss": 1},
+            network_delay_us=80.0,
+            num_requests=12,
+        )
+
+    def test_high_usage_timeline(self):
+        assert_identical("tpcc", high_usage_mpi_threshold=0.004)
+
+
+class TestRouting:
+    """The environment kill switch routes construction, not behavior."""
+
+    def _construct(self):
+        return ServerSimulator(make_workload("mbench_spin"), SimConfig(num_requests=2))
+
+    def test_default_routes_to_fastpath(self, monkeypatch):
+        monkeypatch.delenv(FASTPATH_ENV, raising=False)
+        assert fastpath_enabled()
+        assert type(self._construct()) is FastpathSimulator
+
+    def test_kill_switch_routes_to_base(self, monkeypatch):
+        monkeypatch.setenv(FASTPATH_ENV, "0")
+        assert not fastpath_enabled()
+        assert type(self._construct()) is ServerSimulator
+
+    def test_reference_subclass_always_bypasses(self, monkeypatch):
+        monkeypatch.setenv(FASTPATH_ENV, "1")
+        sim = ReferenceSimulator(make_workload("mbench_spin"), SimConfig(num_requests=2))
+        assert type(sim) is ReferenceSimulator
+
+    def test_env_positions_agree_end_to_end(self, monkeypatch):
+        """Plain construction under both env positions, identical output."""
+        outputs = {}
+        for value in ("1", "0"):
+            monkeypatch.setenv(FASTPATH_ENV, value)
+            collector = TraceCollector(capacity=100_000)
+            config = SimConfig(num_requests=10, seed=3, collector=collector)
+            result = ServerSimulator(make_workload("tpcc"), config).run()
+            outputs[value] = (
+                events_to_jsonl(collector.events, dropped=collector.dropped),
+                result.wall_cycles,
+                tuple(t.cycles.tobytes() for t in result.traces),
+            )
+        assert outputs["1"] == outputs["0"]
