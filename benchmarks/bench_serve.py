@@ -1,0 +1,172 @@
+"""Benchmark: serve-tier sustained throughput and latency under overload.
+
+Two scenarios against a real subprocess worker pool (the same stack as
+``repro-serve load-test``):
+
+* **throughput** — instances stream as fast as credit allows; the
+  sustained events/sec over the streaming window is the capacity
+  headline.  The floor assertion (>= MIN_EVENTS_PER_SEC) only runs on
+  machines with >= 2 usable CPUs and is reported otherwise.
+* **overload** — instances pace their streams at several times the
+  measured capacity with tiny queues and shed-mode backpressure, so the
+  pool is saturated.  The frame-ack latency distribution (p50/p95/max)
+  is the detection-latency-under-overload measurement: how stale is an
+  anomaly verdict when the fleet is drowning.  Overload must degrade by
+  shedding and latency, never by wrong answers — the fleet report is
+  still compared against the throughput run's decision surface.
+
+Run directly for a readable report:
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+
+import pytest
+
+from repro.serve.service import LoadTestOptions, run_load_test
+
+SEED = 23
+MIN_EVENTS_PER_SEC = 1_000.0
+OVERLOAD_RATE_MULTIPLIER = 4.0
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def options(**overrides) -> LoadTestOptions:
+    defaults = dict(
+        workload="tpcc",
+        instances=3,
+        workers=2,
+        requests=12,
+        seed=SEED,
+        faults="lock_stall:0.2",
+        checkpoint_every=64,
+    )
+    defaults.update(overrides)
+    return LoadTestOptions(**defaults)
+
+
+def run_one(opts: LoadTestOptions):
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as run_dir:
+        return asyncio.run(run_load_test(opts, run_dir))
+
+
+def run_benchmark():
+    throughput = run_one(options())
+    events_per_second = throughput.stats["events_per_second"]
+
+    # Pace each instance above its fair share of measured capacity so
+    # the pool saturates; tiny queues + shed mode let producers stay on
+    # schedule (blocked producers would just slow down instead of
+    # overloading).
+    per_instance_rate = (
+        events_per_second * OVERLOAD_RATE_MULTIPLIER / 3
+    )
+    overload = run_one(
+        options(
+            rate_events_per_s=per_instance_rate,
+            backpressure="shed",
+            queue_limit=8,
+            batch=8,
+            credit=2,
+        )
+    )
+    return {
+        "throughput": throughput,
+        "overload": overload,
+        "events_per_second": events_per_second,
+        "overload_rate_per_instance": per_instance_rate,
+    }
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_benchmark()
+
+
+class TestServeBench:
+    def test_sustained_throughput_floor(self, report):
+        events_per_second = report["events_per_second"]
+        if usable_cpus() < 2:
+            pytest.skip(
+                f"only {usable_cpus()} usable CPU(s); measured "
+                f"{events_per_second:.0f} events/s (floor needs >= 2 CPUs)"
+            )
+        assert events_per_second >= MIN_EVENTS_PER_SEC, (
+            f"sustained {events_per_second:.0f} events/s under the "
+            f"{MIN_EVENTS_PER_SEC:.0f} floor"
+        )
+
+    def test_overload_latency_is_measured(self, report):
+        latency = report["overload"].stats["ack_latency_ms"]
+        assert latency is not None
+        assert latency["samples"] > 0
+        assert 0 <= latency["p50"] <= latency["p95"] <= latency["max"]
+
+    def test_overload_does_not_change_decisions(self, report):
+        """Saturation sheds events and stretches latency; it must never
+        flip a decision for the requests that did get through.  Shed
+        events can drop whole requests from the overloaded run's view,
+        so compare on the intersection."""
+        by_key = {
+            (r["instance"], r["request_id"]): (r["flagged"], r["kind"])
+            for r in report["throughput"].fleet.requests
+        }
+        overload_requests = report["overload"].fleet.requests
+        assert overload_requests, "overload run processed nothing"
+        for r in overload_requests:
+            key = (r["instance"], r["request_id"])
+            if key in by_key:
+                assert by_key[key] == (r["flagged"], r["kind"])
+
+    def test_throughput_run_was_clean(self, report):
+        stats = report["throughput"].stats
+        assert stats["events_shed"] == 0
+        assert stats["reconnects"] == 0
+        assert all(n == 0 for n in stats["worker_restarts"].values())
+
+
+def main() -> None:
+    r = run_benchmark()
+    throughput, overload = r["throughput"].stats, r["overload"].stats
+    print(
+        f"serve tier: 3 instances x 2 workers, tpcc+lock_stall "
+        f"({usable_cpus()} usable CPU(s))"
+    )
+    print(
+        f"  sustained   {r['events_per_second']:8.0f} events/s "
+        f"over {throughput['streaming_seconds']:.2f}s "
+        f"(floor {MIN_EVENTS_PER_SEC:.0f})"
+    )
+    lat = throughput["ack_latency_ms"]
+    if lat:
+        print(
+            f"  ack latency  p50={lat['p50']:.2f}ms p95={lat['p95']:.2f}ms "
+            f"max={lat['max']:.2f}ms"
+        )
+    print(
+        f"  overload    paced at {r['overload_rate_per_instance']:.0f} "
+        f"events/s/instance ({OVERLOAD_RATE_MULTIPLIER:.0f}x capacity), "
+        f"shed {overload['events_shed']} of "
+        f"{overload['events_generated']} events"
+    )
+    olat = overload["ack_latency_ms"]
+    if olat:
+        print(
+            f"  under overload: detection latency p50={olat['p50']:.2f}ms "
+            f"p95={olat['p95']:.2f}ms max={olat['max']:.2f}ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -171,19 +171,28 @@ def parse_traces_jsonl(text: str) -> List[RequestTrace]:
     foreign header, unsupported version, malformed lines, or a count
     mismatch.
     """
-    lines = [line for line in text.splitlines() if line.strip()]
-    if not lines:
+    # Number lines before blank filtering so errors point at the real
+    # file position (blank separators must not renumber what follows).
+    numbered = [
+        (number, line)
+        for number, line in enumerate(text.splitlines(), start=1)
+        if line.strip()
+    ]
+    if not numbered:
         raise ValueError("empty trace stream")
+    header_number, header_line = numbered[0]
     try:
-        header = json.loads(lines[0])
+        header = json.loads(header_line)
     except json.JSONDecodeError as error:
-        raise ValueError(f"malformed trace header: {error}") from None
+        raise ValueError(
+            f"line {header_number}: malformed trace header: {error}"
+        ) from None
     if not isinstance(header, dict) or header.get("format") != "repro-request-traces":
         raise ValueError("not a repro trace stream")
     if header.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported version {header.get('version')}")
     traces = []
-    for number, line in enumerate(lines[1:], start=2):
+    for number, line in numbered[1:]:
         try:
             payload = json.loads(line)
         except json.JSONDecodeError as error:

@@ -364,26 +364,36 @@ def parse_events_jsonl(text: str):
     missing/foreign header, unsupported version, malformed lines, or an
     event-count mismatch — corruption must fail loudly.
     """
-    lines = [line for line in text.splitlines() if line.strip()]
-    if not lines:
+    # Keep the original line numbers through blank-line filtering: the
+    # online service replays tails from these files, and "line 7041" must
+    # mean line 7041 of the file, not of the non-blank subsequence.
+    numbered = [
+        (number, line)
+        for number, line in enumerate(text.splitlines(), start=1)
+        if line.strip()
+    ]
+    if not numbered:
         raise ValueError("empty obs event stream")
+    header_number, header_line = numbered[0]
     try:
-        header = json.loads(lines[0])
+        header = json.loads(header_line)
     except json.JSONDecodeError as error:
-        raise ValueError(f"malformed obs header: {error}") from None
+        raise ValueError(
+            f"line {header_number}: malformed obs header: {error}"
+        ) from None
     if not isinstance(header, dict) or header.get("format") != FORMAT:
         raise ValueError("not a repro obs event stream")
     if header.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported obs version {header.get('version')}")
     events = []
-    for number, line in enumerate(lines[1:], start=2):
+    for number, line in numbered[1:]:
         try:
             payload = json.loads(line)
         except json.JSONDecodeError as error:
             raise ValueError(f"line {number}: malformed event: {error}") from None
         try:
             events.append(ObsEvent.from_dict(payload))
-        except ValueError as error:
+        except (ValueError, TypeError) as error:
             raise ValueError(f"line {number}: {error}") from None
     declared = header.get("events")
     if declared is not None and declared != len(events):

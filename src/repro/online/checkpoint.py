@@ -28,6 +28,17 @@ CHECKPOINT_FORMAT = "repro-online-checkpoint"
 CHECKPOINT_VERSION = 1
 
 
+class CheckpointError(ValueError):
+    """A checkpoint document could not be read.
+
+    Raised — instead of a raw :class:`KeyError` / :class:`json.
+    JSONDecodeError` surfacing from the payload internals — for truncated
+    files, malformed JSON, foreign documents, unsupported versions, and
+    structurally corrupt state payloads.  Subclasses :class:`ValueError`
+    so existing callers that catch broadly keep working.
+    """
+
+
 def checkpoint_to_json(pipeline: OnlinePipeline) -> str:
     """Serialize a pipeline's full state as canonical checkpoint JSON."""
     payload = {
@@ -40,18 +51,31 @@ def checkpoint_to_json(pipeline: OnlinePipeline) -> str:
 
 def checkpoint_from_json(text: str, registry=None) -> OnlinePipeline:
     """Rebuild a pipeline from checkpoint JSON (loud on bad input)."""
+    if not text.strip():
+        raise CheckpointError("empty checkpoint (truncated write?)")
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as error:
-        raise ValueError(f"malformed checkpoint: {error}") from None
+        raise CheckpointError(
+            f"malformed checkpoint (truncated or corrupt): {error}"
+        ) from None
     if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
-        raise ValueError("not a repro online checkpoint")
+        raise CheckpointError("not a repro online checkpoint")
     if payload.get("version") != CHECKPOINT_VERSION:
-        raise ValueError(
+        raise CheckpointError(
             f"unsupported checkpoint version {payload.get('version')!r} "
             f"(this build reads version {CHECKPOINT_VERSION})"
         )
-    return OnlinePipeline.from_state(payload["state"], registry=registry)
+    state = payload.get("state")
+    if not isinstance(state, dict):
+        raise CheckpointError("checkpoint has no state object")
+    try:
+        return OnlinePipeline.from_state(state, registry=registry)
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise CheckpointError(
+            f"corrupt checkpoint state (version {CHECKPOINT_VERSION}): "
+            f"{type(error).__name__}: {error}"
+        ) from None
 
 
 def save_checkpoint(pipeline: OnlinePipeline, path: str) -> None:

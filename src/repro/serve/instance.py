@@ -1,0 +1,394 @@
+"""Simulated application instances and their streaming clients.
+
+An *instance* is one simulated application server: a workload (optionally
+fault-injecting), an arrival process from the traffic layer, and a seed.
+:func:`generate_instance_events` runs the (fastpath) simulator with a
+kind-filtered collector and yields the canonical obs event stream the
+online pipelines consume — deterministic, so the serve tier can be
+load-tested and failure-tested against byte-identity expectations.
+
+:class:`InstanceClient` streams one instance's events to the worker pool:
+
+* **Routing** — each event goes to ``ring.shard_for(instance, request_id)``;
+  events without a request id (``run_start``) broadcast to every shard,
+  since any shard may own requests that need the run metadata.
+* **Backpressure** — per-connection bounded queues feed one link task per
+  shard; ``block`` mode awaits space (credit backpressure propagates to
+  the producer), ``shed`` mode drops events when the queue is full and
+  counts them (``serve_events_shed``).  The worker side grants
+  frames-in-flight credit at handshake; a link never exceeds it.
+* **Failover** — every sent event stays in a retained tail until the
+  worker acknowledges a covering checkpoint.  On a connection loss the
+  link reconnects (with backoff, up to a deadline) and replays the tail;
+  the worker pipeline's seq cursor deduplicates, so a crash between
+  checkpoints loses nothing and double-applies nothing.
+
+Service metrics land in an optional :class:`~repro.obs.metrics.
+MetricsRegistry` (``serve_events_sent``, ``serve_frames_sent``,
+``serve_events_shed``, ``serve_reconnects``, ``serve_checkpoint_acks``,
+``serve_ack_latency_ms``), which is how the load-test harness surfaces
+backpressure and detection latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.kernel.sampling import SamplingPolicy
+from repro.kernel.simulator import ServerSimulator, SimConfig
+from repro.obs.trace import ObsEvent, TraceCollector
+from repro.online.pipeline import SUBSCRIBED_KINDS
+from repro.serve.protocol import FrameStream, client_handshake, events_frame
+from repro.serve.router import HashRing
+from repro.workloads.registry import make_faulted_workload, make_workload
+
+#: Sentinel closing each link's queue.
+_END = object()
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One simulated application instance (deterministic identity)."""
+
+    instance: int
+    workload: str
+    requests: int = 20
+    concurrency: int = 8
+    seed: int = 0
+    #: Fault-injection spec (``kind:rate``) or None for clean traffic.
+    faults: Optional[str] = None
+    #: Arrival-process spec (``poisson:400`` ...) or None for the
+    #: closed loop.
+    arrivals: Optional[str] = None
+
+    def __post_init__(self):
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+
+
+def generate_instance_events(spec: InstanceSpec) -> List[ObsEvent]:
+    """Run the instance's simulator; return its canonical event stream."""
+    workload = (
+        make_faulted_workload(spec.workload, spec.faults)
+        if spec.faults
+        else make_workload(spec.workload)
+    )
+    traffic = None
+    if spec.arrivals and spec.arrivals != "closed":
+        from repro.traffic import TrafficConfig, parse_arrivals
+
+        traffic = TrafficConfig(arrivals=parse_arrivals(spec.arrivals))
+    collector = TraceCollector(capacity=None, kinds=SUBSCRIBED_KINDS)
+    config = SimConfig(
+        sampling=SamplingPolicy.interrupt(workload.sampling_period_us),
+        num_requests=spec.requests,
+        concurrency=min(spec.concurrency, spec.requests),
+        seed=spec.seed,
+        traffic=traffic,
+        collector=collector,
+    )
+    ServerSimulator(workload, config).run()
+    return collector.events
+
+
+@dataclass
+class StreamStats:
+    """What one instance's streaming run did (wall-clock side)."""
+
+    events_sent: int = 0
+    frames_sent: int = 0
+    events_shed: int = 0
+    reconnects: int = 0
+    checkpoint_acks: int = 0
+    #: Seconds from frame send (or scheduled emission under pacing) to
+    #: the worker's covering credit ack — the detection-latency signal.
+    ack_latencies: List[float] = field(default_factory=list)
+
+    def merge(self, other: "StreamStats") -> None:
+        self.events_sent += other.events_sent
+        self.frames_sent += other.frames_sent
+        self.events_shed += other.events_shed
+        self.reconnects += other.reconnects
+        self.checkpoint_acks += other.checkpoint_acks
+        self.ack_latencies.extend(other.ack_latencies)
+
+
+class _WorkerLink:
+    """One instance→shard connection: batching, credit, tail replay."""
+
+    def __init__(
+        self,
+        instance: int,
+        shard: str,
+        socket_path: str,
+        *,
+        batch: int,
+        queue_limit: int,
+        backpressure: str,
+        connect_deadline_s: float,
+        stats: StreamStats,
+    ):
+        self.instance = instance
+        self.shard = shard
+        self.socket_path = socket_path
+        self.batch = batch
+        self.backpressure = backpressure
+        self.connect_deadline_s = connect_deadline_s
+        self.stats = stats
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=queue_limit)
+        #: (event_dict, enqueue_time) sent but not yet checkpoint-acked.
+        self.retained: deque = deque()
+        #: Send time of each frame awaiting its credit ack (FIFO).
+        self.outstanding: deque = deque()
+        self.credit = 1  # refreshed by hello_ack
+
+    # -- producer side --------------------------------------------------
+
+    async def offer(self, event_dict: dict, when: float) -> None:
+        if self.backpressure == "shed":
+            try:
+                self.queue.put_nowait((event_dict, when))
+            except asyncio.QueueFull:
+                self.stats.events_shed += 1
+        else:
+            await self.queue.put((event_dict, when))
+
+    async def finish(self) -> None:
+        await self.queue.put((_END, 0.0))
+
+    # -- connection side ------------------------------------------------
+
+    async def _connect(self) -> FrameStream:
+        """Connect with retry until the deadline (workers restart)."""
+        deadline = time.monotonic() + self.connect_deadline_s
+        delay = 0.02
+        while True:
+            try:
+                reader, writer = await asyncio.open_unix_connection(
+                    self.socket_path
+                )
+            except (OSError, ConnectionError):
+                if time.monotonic() >= deadline:
+                    raise
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, 0.5)
+                continue
+            stream = FrameStream(reader, writer)
+            ack = await client_handshake(
+                stream, "instance", instance=self.instance
+            )
+            self.credit = int(ack.get("credit", 1))
+            return stream
+
+    async def _send_frame(
+        self, stream: FrameStream, events: List, in_flight: int
+    ) -> int:
+        """Send one events frame; drain acks until under the credit cap."""
+        await stream.write(events_frame([record for record, _ in events]))
+        sent_at = time.monotonic()
+        self.retained.extend(events)
+        self.stats.frames_sent += 1
+        self.stats.events_sent += len(events)
+        in_flight += 1
+        # Latency clock starts at the scheduled emission time under
+        # pacing (queueing delay counts), else at the send.
+        oldest_pending = min(when for _, when in events)
+        self.outstanding.append(min(sent_at, oldest_pending))
+        while in_flight >= self.credit:
+            payload = await stream.expect("credit", "checkpoint")
+            if payload["type"] == "checkpoint":
+                self._trim_retained(payload["through_seq"])
+            else:
+                in_flight -= 1
+                self._record_ack()
+        return in_flight
+
+    def _trim_retained(self, through_seq: int) -> None:
+        self.stats.checkpoint_acks += 1
+        retained = self.retained
+        while retained and retained[0][0]["seq"] <= through_seq:
+            retained.popleft()
+
+    def _record_ack(self) -> None:
+        if self.outstanding:
+            self.stats.ack_latencies.append(
+                time.monotonic() - self.outstanding.popleft()
+            )
+
+    async def _drain_until(self, stream: FrameStream, *types: str) -> dict:
+        """Read frames, folding checkpoints, until one of ``types``."""
+        while True:
+            payload = await stream.expect("credit", "checkpoint", *types)
+            if payload["type"] == "checkpoint":
+                self._trim_retained(payload["through_seq"])
+            elif payload["type"] in types:
+                return payload
+            else:
+                self._record_ack()
+
+    async def run(self) -> None:
+        """Stream the queue to the worker; survive worker restarts.
+
+        The only exit is a successful ``end_ack``: a worker that dies
+        during the end handshake still holds unacked tail state, so the
+        link reconnects and replays even after the queue is drained.
+        """
+        stream: Optional[FrameStream] = None
+        in_flight = 0
+        done = False
+        pending: List = []  # batch being retried across reconnects
+        while True:
+            try:
+                if stream is None:
+                    stream = await self._connect()
+                    in_flight = 0
+                    # Replay the retained tail: everything sent since the
+                    # last checkpoint ack.  The worker's seq cursor skips
+                    # whatever it already folded in.
+                    tail = list(self.retained)
+                    self.retained.clear()
+                    for start in range(0, len(tail), self.batch):
+                        in_flight = await self._send_frame(
+                            stream, tail[start:start + self.batch], in_flight
+                        )
+                while True:
+                    if not pending and not done:
+                        item = await self.queue.get()
+                        if item[0] is _END:
+                            done = True
+                        else:
+                            pending.append(item)
+                            while len(pending) < self.batch:
+                                try:
+                                    item = self.queue.get_nowait()
+                                except asyncio.QueueEmpty:
+                                    break
+                                if item[0] is _END:
+                                    done = True
+                                    break
+                                pending.append(item)
+                    if pending:
+                        in_flight = await self._send_frame(
+                            stream, pending, in_flight
+                        )
+                        pending = []
+                    if done:
+                        await stream.write({"type": "end"})
+                        await self._drain_until(stream, "end_ack")
+                        await stream.close()
+                        return
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                # Worker died (failover in progress): the batch being sent
+                # may or may not have arrived.  Re-retain it and replay;
+                # seq deduplication makes the overlap harmless.
+                if stream is not None:
+                    await stream.close()
+                    stream = None
+                if pending:
+                    self.retained.extend(pending)
+                    pending = []
+                # Frames lost with the connection re-time on replay.
+                self.outstanding.clear()
+                self.stats.reconnects += 1
+
+
+class InstanceClient:
+    """Stream one instance's events to the sharded worker pool."""
+
+    def __init__(
+        self,
+        spec: InstanceSpec,
+        events: List[ObsEvent],
+        ring: HashRing,
+        socket_paths: Dict[str, str],
+        *,
+        batch: int = 32,
+        queue_limit: int = 64,
+        backpressure: str = "block",
+        rate_events_per_s: Optional[float] = None,
+        connect_deadline_s: float = 30.0,
+        registry=None,
+    ):
+        if backpressure not in ("block", "shed"):
+            raise ValueError(
+                f"backpressure must be 'block' or 'shed', got {backpressure!r}"
+            )
+        if set(socket_paths) != set(ring.shards):
+            raise ValueError("socket_paths must cover exactly the ring's shards")
+        self.spec = spec
+        self.events = events
+        self.ring = ring
+        self.rate = rate_events_per_s
+        self.stats = StreamStats()
+        self.registry = registry
+        self.links = {
+            shard: _WorkerLink(
+                spec.instance,
+                shard,
+                socket_paths[shard],
+                batch=batch,
+                queue_limit=queue_limit,
+                backpressure=backpressure,
+                connect_deadline_s=connect_deadline_s,
+                stats=StreamStats(),
+            )
+            for shard in ring.shards
+        }
+
+    async def run(self) -> StreamStats:
+        link_tasks = [
+            asyncio.create_task(link.run()) for link in self.links.values()
+        ]
+        try:
+            ring = self.ring
+            instance = self.spec.instance
+            links = self.links
+            start = time.monotonic()
+            gap = 1.0 / self.rate if self.rate else 0.0
+            for index, event in enumerate(self.events):
+                if gap:
+                    scheduled = start + index * gap
+                    delay = scheduled - time.monotonic()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                else:
+                    scheduled = time.monotonic()
+                record = event.to_dict()
+                if event.request_id is None:
+                    for link in links.values():
+                        await link.offer(record, scheduled)
+                else:
+                    shard = ring.shard_for(instance, event.request_id)
+                    await links[shard].offer(record, scheduled)
+            for link in links.values():
+                await link.finish()
+            await asyncio.gather(*link_tasks)
+        except BaseException:
+            for task in link_tasks:
+                task.cancel()
+            raise
+        for link in self.links.values():
+            self.stats.merge(link.stats)
+        self._publish_metrics()
+        return self.stats
+
+    def _publish_metrics(self) -> None:
+        if self.registry is None:
+            return
+        stats = self.stats
+        self.registry.counter("serve_events_sent").inc(stats.events_sent)
+        self.registry.counter("serve_frames_sent").inc(stats.frames_sent)
+        self.registry.counter("serve_events_shed").inc(stats.events_shed)
+        self.registry.counter("serve_reconnects").inc(stats.reconnects)
+        self.registry.counter("serve_checkpoint_acks").inc(
+            stats.checkpoint_acks
+        )
+        latency = self.registry.histogram("serve_ack_latency_ms")
+        for seconds in stats.ack_latencies:
+            latency.observe(seconds * 1e3)

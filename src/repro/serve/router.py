@@ -1,0 +1,101 @@
+"""Consistent-hash routing of request ids onto worker shards.
+
+The serve tier must route every event of a request to the same shard
+worker (the per-request streaming state lives there), keep the mapping
+stable across processes and runs (failover replays depend on it), and
+move as few requests as possible when the pool grows or shrinks — the
+classic consistent-hashing contract.
+
+:class:`HashRing` places ``replicas`` virtual points per shard on a
+64-bit ring using BLAKE2b (seedless and process-independent, unlike
+Python's randomized ``hash``); a key is served by the first point at or
+clockwise after the key's own position.  Removing a shard reassigns only
+the keys that shard owned; adding one steals only the keys it now owns.
+The hypothesis suite (``tests/serve/test_router.py``) pins both
+properties plus cross-instantiation stability.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+#: Virtual points per shard.  More points → better balance, slower
+#: mutation; 64 keeps the max/mean shard load under ~1.5 for small pools.
+DEFAULT_REPLICAS = 64
+
+
+def stable_hash(key: str) -> int:
+    """Process-independent 64-bit hash (BLAKE2b, big-endian)."""
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def request_key(instance: object, request_id: object) -> str:
+    """The routing key for one request of one instance.
+
+    Request ids restart from 0 on every instance, so the instance id is
+    folded in; within an instance the mapping is consistent hashing on
+    the request id.
+    """
+    return f"{instance}/{request_id}"
+
+
+class HashRing:
+    """A consistent-hash ring over named shards."""
+
+    def __init__(self, shards: Iterable[str] = (), replicas: int = DEFAULT_REPLICAS):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        #: Sorted (point, shard) pairs; the tuple sort makes the rare
+        #: point collision deterministic (lowest shard name wins).
+        self._points: List[Tuple[int, str]] = []
+        self._shards: set = set()
+        for shard in shards:
+            self.add_shard(shard)
+
+    # -- membership -----------------------------------------------------
+
+    @property
+    def shards(self) -> List[str]:
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def add_shard(self, shard: str) -> None:
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already on the ring")
+        self._shards.add(shard)
+        for replica in range(self.replicas):
+            pair = (stable_hash(f"{shard}#{replica}"), shard)
+            bisect.insort(self._points, pair)
+
+    def remove_shard(self, shard: str) -> None:
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard!r} not on the ring")
+        self._shards.discard(shard)
+        self._points = [p for p in self._points if p[1] != shard]
+
+    # -- lookup ---------------------------------------------------------
+
+    def lookup(self, key: str) -> str:
+        """The shard owning ``key`` (first point clockwise, wrapping)."""
+        if not self._points:
+            raise ValueError("hash ring has no shards")
+        position = stable_hash(key)
+        # bisect on (position,) finds the first point with point-hash
+        # >= position regardless of its shard name.
+        index = bisect.bisect_left(self._points, (position,))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def shard_for(self, instance: object, request_id: object) -> str:
+        return self.lookup(request_key(instance, request_id))
+
+    def assignment(self, keys: Iterable[str]) -> Dict[str, str]:
+        """Map each key to its shard (bulk form, for tests/inspection)."""
+        return {key: self.lookup(key) for key in keys}

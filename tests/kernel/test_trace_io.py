@@ -128,3 +128,10 @@ class TestJsonl:
         del lines[-1]
         with pytest.raises(ValueError, match="declares"):
             parse_traces_jsonl("\n".join(lines) + "\n")
+
+    def test_blank_lines_do_not_shift_reported_line_numbers(self, tpcc_run):
+        lines = traces_to_jsonl(tpcc_run.traces[:2]).splitlines()
+        lines.insert(1, "")  # blank separator after the header
+        lines[3] = '{"request_id": 1}'  # file line 4, not non-blank line 3
+        with pytest.raises(ValueError, match="line 4"):
+            parse_traces_jsonl("\n".join(lines) + "\n")

@@ -227,6 +227,28 @@ class TestMalformedInput:
         with pytest.raises(ValueError):
             ObsEvent.from_dict({"seq": 0, "cycle": 1.0})
 
+    def test_blank_lines_do_not_shift_reported_line_numbers(self):
+        """Line numbers must index the *file*, not the non-blank subset
+        (the serve tier replays tails from these files; a debugging session
+        that opens the file at the reported line must land on the bad one)."""
+        collector = TraceCollector()
+        _fill(collector, 2)
+        lines = events_to_jsonl(collector.events).splitlines()
+        lines.insert(1, "")  # blank separator after the header
+        lines[3] = "{broken"  # file line 4 (1-based), not non-blank line 3
+        with pytest.raises(ValueError, match="line 4"):
+            parse_events_jsonl("\n".join(lines) + "\n")
+
+    def test_wrong_typed_field_reports_line_number(self):
+        """A TypeError inside record decoding (seq: null) must surface as a
+        numbered ValueError, not a raw TypeError."""
+        collector = TraceCollector()
+        _fill(collector, 2)
+        lines = events_to_jsonl(collector.events).splitlines()
+        lines[2] = lines[2].replace('"seq":1', '"seq":null')
+        with pytest.raises(ValueError, match="line 3"):
+            parse_events_jsonl("\n".join(lines) + "\n")
+
 
 class TestSubscribers:
     def test_subscriber_sees_every_event_in_order(self):

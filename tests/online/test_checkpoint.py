@@ -6,6 +6,7 @@ import pytest
 
 from repro.online.checkpoint import (
     CHECKPOINT_VERSION,
+    CheckpointError,
     checkpoint_from_json,
     checkpoint_to_json,
     load_checkpoint,
@@ -105,3 +106,47 @@ class TestValidation:
         pipeline = OnlinePipeline()
         restored = checkpoint_from_json(checkpoint_to_json(pipeline))
         assert restored.identifier is None
+
+
+class TestCorruptPayloads:
+    """Corrupt/truncated checkpoints must raise CheckpointError (a
+    ValueError), never a raw KeyError/JSONDecodeError from the payload
+    internals — the serve failover path depends on telling 'retry with
+    tail replay' apart from a crash."""
+
+    def test_truncated_document(self):
+        blob = checkpoint_to_json(OnlinePipeline())
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            checkpoint_from_json(blob[: len(blob) // 2])
+
+    def test_empty_document(self):
+        with pytest.raises(CheckpointError, match="empty checkpoint"):
+            checkpoint_from_json("   \n")
+
+    def test_missing_state_key(self):
+        payload = {"format": "repro-online-checkpoint",
+                   "version": CHECKPOINT_VERSION}
+        with pytest.raises(CheckpointError, match="no state object"):
+            checkpoint_from_json(json.dumps(payload))
+
+    def test_corrupt_state_payload_names_version(self):
+        blob = json.loads(checkpoint_to_json(OnlinePipeline()))
+        del blob["state"]["centroids"]  # would surface as a raw KeyError
+        with pytest.raises(CheckpointError, match="version 1"):
+            checkpoint_from_json(json.dumps(blob))
+
+    def test_wrong_typed_state_payload(self):
+        blob = json.loads(checkpoint_to_json(OnlinePipeline()))
+        blob["state"]["open"] = {"not": "a list"}
+        with pytest.raises(CheckpointError, match="corrupt checkpoint state"):
+            checkpoint_from_json(json.dumps(blob))
+
+    def test_truncated_file_on_disk(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(OnlinePipeline(), str(path))
+        path.write_text(path.read_text()[:40])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(str(path))
+
+    def test_checkpoint_error_is_a_value_error(self):
+        assert issubclass(CheckpointError, ValueError)

@@ -1,0 +1,162 @@
+"""Consistent-hash ring properties (hypothesis) plus pinned hashes.
+
+The serve tier's failover story leans on three routing invariants:
+stable assignment across ring instantiations (a restarted process must
+route identically), same request id → same shard (per-request streaming
+state lives on exactly one worker), and minimal movement when the pool
+grows or shrinks (only the affected shard's keys move).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.router import (
+    DEFAULT_REPLICAS,
+    HashRing,
+    request_key,
+    stable_hash,
+)
+
+shard_names = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=8
+    ),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+keys = st.lists(st.text(min_size=0, max_size=20), min_size=1, max_size=50)
+
+
+class TestStableHash:
+    def test_pinned_values(self):
+        # Frozen: a change here silently remaps every deployed fleet's
+        # request routing (and breaks failover replay determinism).
+        assert stable_hash("w0#0") == 11550907120429369735
+        assert stable_hash("alpha") == 5982700193828047002
+        assert stable_hash("0/0") == 3153696582655363665
+        assert stable_hash("1/17") == 17203642299269480263
+
+    def test_request_key_folds_instance(self):
+        assert request_key(0, 17) == "0/17"
+        assert request_key(1, 17) == "1/17"
+        assert request_key(0, 17) != request_key(1, 17)
+
+
+class TestRingBasics:
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(ValueError, match="no shards"):
+            HashRing().lookup("anything")
+
+    def test_duplicate_add_raises(self):
+        ring = HashRing(["w0"])
+        with pytest.raises(ValueError, match="already on the ring"):
+            ring.add_shard("w0")
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ValueError, match="not on the ring"):
+            HashRing(["w0"]).remove_shard("w1")
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(replicas=0)
+
+    def test_shards_sorted(self):
+        assert HashRing(["b", "a", "c"]).shards == ["a", "b", "c"]
+        assert len(HashRing(["b", "a"])) == 2
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(["only"])
+        assert {ring.lookup(f"key{i}") for i in range(100)} == {"only"}
+
+    def test_balance_is_reasonable(self):
+        # 64 virtual points per shard keep the worst shard under ~2x the
+        # mean for a 4-shard pool (the docstring's sizing claim).
+        ring = HashRing([f"w{i}" for i in range(4)])
+        assignment = ring.assignment(f"key{i}" for i in range(4000))
+        loads = [list(assignment.values()).count(s) for s in ring.shards]
+        assert min(loads) > 0
+        assert max(loads) < 2.0 * (4000 / 4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(shards=shard_names, request_ids=st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=30
+))
+def test_same_request_id_same_shard(shards, request_ids):
+    """Every event of a request routes to one shard, consistently."""
+    ring = HashRing(shards)
+    for request_id in request_ids:
+        first = ring.shard_for(0, request_id)
+        assert all(ring.shard_for(0, request_id) == first for _ in range(3))
+        assert first in shards
+
+
+@settings(max_examples=50, deadline=None)
+@given(shards=shard_names, sample=keys)
+def test_assignment_stable_across_instantiations(shards, sample):
+    """Two independently built rings route identically (and insertion
+    order does not matter) — restarted supervisors and workers must
+    agree on routing without coordination."""
+    ring_a = HashRing(shards)
+    ring_b = HashRing(list(reversed(shards)))
+    assert ring_a.assignment(sample) == ring_b.assignment(sample)
+
+
+@settings(max_examples=50, deadline=None)
+@given(shards=shard_names, sample=keys)
+def test_remove_moves_only_the_removed_shards_keys(shards, sample):
+    """Removing a shard reassigns exactly the keys it owned."""
+    if len(shards) < 2:
+        return
+    ring = HashRing(shards)
+    before = ring.assignment(sample)
+    victim = shards[0]
+    ring.remove_shard(victim)
+    after = ring.assignment(sample)
+    for key in sample:
+        if before[key] != victim:
+            assert after[key] == before[key]
+        else:
+            assert after[key] != victim
+
+
+@settings(max_examples=50, deadline=None)
+@given(shards=shard_names, new_shard=st.text(
+    alphabet="ABCDEFGHIJKLMNOPQRSTUVWXYZ", min_size=1, max_size=8
+), sample=keys)
+def test_add_steals_only_for_the_new_shard(shards, new_shard, sample):
+    """Adding a shard moves keys only *to* the new shard, never between
+    existing shards — the minimal-movement half of the contract."""
+    ring = HashRing(shards)
+    before = ring.assignment(sample)
+    ring.add_shard(new_shard)
+    after = ring.assignment(sample)
+    for key in sample:
+        assert after[key] in (before[key], new_shard)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shards=shard_names, sample=keys)
+def test_add_then_remove_round_trips(shards, sample):
+    """add_shard and remove_shard are exact inverses on the assignment."""
+    ring = HashRing(shards)
+    before = ring.assignment(sample)
+    ring.add_shard("TRANSIENT")
+    ring.remove_shard("TRANSIENT")
+    assert ring.assignment(sample) == before
+
+
+def test_moved_fraction_is_small_at_scale():
+    """Growing 4 → 5 shards moves roughly 1/5 of keys (consistent
+    hashing's raison d'être); a modulo router would move ~4/5."""
+    sample = [f"key{i}" for i in range(5000)]
+    ring = HashRing([f"w{i}" for i in range(4)])
+    before = ring.assignment(sample)
+    ring.add_shard("w4")
+    after = ring.assignment(sample)
+    moved = sum(1 for key in sample if before[key] != after[key])
+    assert moved / len(sample) < 0.35  # ideal 0.20, generous margin

@@ -27,6 +27,7 @@ class TestExamples:
             "online_prediction",
             "capacity_planning",
             "distributed_tiers",
+            "serve_fleet",
         } <= names
 
     @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
