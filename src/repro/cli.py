@@ -185,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
         "arrivals beyond it are shed (counted, not executed)",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="print a stage-timing table (generate/simulate/distance/cluster "
+        "split) after the run, mirroring repro-experiments --profile",
+    )
+    parser.add_argument(
         "--online", action="store_true",
         help="attach the streaming online pipeline (prediction + anomaly "
         "detection) to the run and print its scored report",
@@ -372,6 +377,14 @@ def main(argv=None) -> int:
                 jobs=args.jobs,
             )
         print(summary)
+
+    if args.profile:
+        rows = [
+            {**row, "seconds": round(row["seconds"], 3)}
+            for row in profiler.rows()
+        ]
+        print()
+        print(format_table(rows, title=f"-- {args.workload} stage profile --"))
 
     if pipeline is not None:
         from repro.online.checkpoint import save_checkpoint

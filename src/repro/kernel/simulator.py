@@ -13,6 +13,7 @@ yield serialized :class:`~repro.kernel.tracker.RequestTrace` timelines.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -28,7 +29,7 @@ from repro.kernel.scheduler import RoundRobinScheduler, SchedulerPolicy
 from repro.kernel.syscalls import next_rate_syscall_cycles
 from repro.kernel.task import Task, TaskState
 from repro.kernel.tracker import PeriodRecord, RequestTracker
-from repro.obs.profiling import profiled_stage
+from repro.obs.profiling import active_profiler, profiled_stage
 from repro.obs.trace import NULL_COLLECTOR, TraceCollector
 from repro.traffic import (
     LatencyStore,
@@ -338,12 +339,41 @@ class ServerSimulator:
             self.policy.interrupt_period_us
         )
         self._backup_cycles = self.machine.us_to_cycles(self.policy.t_backup_int_us)
+        #: Ambient stage profiler, captured at run() so per-request
+        #: generation time can be attributed out of the simulate stage.
+        self._profiler = None
 
     # ------------------------------------------------------------------ API
 
     def run(self) -> SimResult:
+        self._profiler = active_profiler()
         with profiled_stage("simulate"):
             return self._run()
+
+    def _prepare_generation(self) -> None:
+        """Block-ahead synthesis: pre-generate specs when draw-order safe.
+
+        The generation fast path's workloads expose ``prepare_block``,
+        which synthesizes the whole run's request specs in one pass ahead
+        of simulation.  That reorders no RNG draw as long as nothing else
+        draws from ``self.rng`` between admissions: arrival schedules are
+        pre-drawn in full (``exposes_schedule``), dispatch policies use
+        their own seeded streams, and only syscall-sampling policies draw
+        mid-run (rate-based syscall gaps/names) — so those disable it.
+        Wrapped workloads (fault injection, fixed-kind) don't expose the
+        hook and keep per-request synthesis.
+        """
+        prepare = getattr(self.workload, "prepare_block", None)
+        if prepare is None:
+            return
+        if self.policy.wants_syscall_events():
+            return
+        if self.traffic is not None and not getattr(
+            self.traffic.arrivals, "exposes_schedule", False
+        ):
+            return
+        with profiled_stage("generate"):
+            prepare(self.rng, 0, self.config.num_requests)
 
     def _run(self) -> SimResult:
         if self.obs.enabled:
@@ -366,7 +396,9 @@ class ServerSimulator:
                 self.rng, self.config.num_requests, self.machine.frequency_ghz
             ):
                 self._defer_admission(arrival.cycle, arrival.tenant)
+            self._prepare_generation()
         else:
+            self._prepare_generation()
             while self._admitted < min(
                 self.config.concurrency, self.config.num_requests
             ):
@@ -550,7 +582,13 @@ class ServerSimulator:
     # ------------------------------------------------------- request admin
 
     def _admit(self, tenant: Optional[int] = None) -> None:
-        spec = self.workload.sample_request(self.rng, self._admitted)
+        profiler = self._profiler
+        if profiler is None:
+            spec = self.workload.sample_request(self.rng, self._admitted)
+        else:
+            start = time.perf_counter()
+            spec = self.workload.sample_request(self.rng, self._admitted)
+            profiler.add("generate", time.perf_counter() - start)
         self._admitted += 1
         if tenant is not None:
             spec.metadata["tenant"] = tenant

@@ -68,6 +68,13 @@ class ArrivalProcess:
     #: Closed-loop processes draw no schedule; the simulator keeps its
     #: completion-triggered admission loop instead.
     is_closed_loop: bool = False
+    #: Whether ``schedule()`` draws the whole arrival stream eagerly (all
+    #: current processes do).  The generation fast path's block-ahead
+    #: synthesis relies on this: once the schedule is drawn, no further
+    #: arrival-side RNG draws interleave with request generation.  A
+    #: future lazily-drawing process must set this False to keep the
+    #: reference draw order.
+    exposes_schedule: bool = True
 
     def schedule(
         self, rng: np.random.Generator, n: int, frequency_ghz: float

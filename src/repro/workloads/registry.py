@@ -6,6 +6,7 @@ from typing import Tuple
 
 from repro.obs.profiling import profiled_stage
 from repro.workloads.faults import FAULT_KINDS, FaultInjectingWorkload
+from repro.workloads.genfast import FAST_FACTORIES, gen_fastpath_enabled
 from repro.workloads.microbench import MbenchData, MbenchSpin
 from repro.workloads.rubis import RubisWorkload
 from repro.workloads.tpcc import TpccWorkload
@@ -41,6 +42,10 @@ def make_workload(name: str):
             f"unknown workload {name!r}; available: {sorted(_FACTORIES)}"
         ) from None
     with profiled_stage("generate"):
+        if gen_fastpath_enabled():
+            fast = FAST_FACTORIES.get(name)
+            if fast is not None:
+                return fast()
         return factory()
 
 

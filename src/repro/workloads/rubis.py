@@ -7,6 +7,12 @@ propagation the paper's kernel tracker must follow.  The componentized
 architecture also makes system calls frequent (72% probability of a syscall
 within 16 us of any instant, Figure 4).  A typical request executes a few
 million instructions (Figure 2 shows SearchItemsByCategory spanning ~4-5 M).
+
+An interaction's phase plan is declarative (:func:`interaction_segments`):
+a web-in head def, one (component, gc) def pair per EJB component — the GC
+burst fires on a mid-plan ``rng.random() < 0.30`` draw between component
+jitters, so the pairs stay separate blocks — and a fixed four-def tail
+(db parse/execute, render, respond) that maps onto the remaining tiers.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from typing import List
 import numpy as np
 
 from repro.workloads.base import Phase, RequestSpec, Stage
-from repro.workloads.util import jittered, jittered_int, phase
+from repro.workloads.util import Jit, PhaseDef, materialize
 
 _WEB_POOL = ("read", "writev", "poll")
 _EJB_POOL = ("read", "write", "futex")
@@ -48,11 +54,79 @@ INTERACTION_MIX = (
     ("AboutMe", 0.08, ("User", "Item", "Bid", "Comment"), 1.8, 1.5),
 )
 
+#: Probability that a JVM GC burst follows an EJB component phase.
+GC_PROBABILITY = 0.30
+
+_SEGMENT_CACHE = {}
+
+
+def interaction_segments(idx: int):
+    """Segmented phase-def plan for interaction ``INTERACTION_MIX[idx]``.
+
+    Returns ``(head, comp_pairs, tail)`` where ``head`` is the web-in def
+    tuple, ``comp_pairs`` is one ``(component_def, gc_def)`` pair per EJB
+    component, and ``tail`` is the fixed (db_parse, db_execute,
+    ejb_render, tomcat_respond) def tuple.  Pure; no main-RNG draws.
+    """
+    cached = _SEGMENT_CACHE.get(idx)
+    if cached is not None:
+        return cached
+    _, _, components, db_mega, ejb_mega = INTERACTION_MIX[idx]
+
+    head = (
+        PhaseDef(
+            "tomcat_parse", 180_000, 0.12, 1.45, 0.08, 0.014, 0.22, 0.35,
+            "read", 1 / 14_000, _WEB_POOL,
+        ),
+    )
+
+    per_component = ejb_mega * 1_000_000 / len(components)
+    comp_pairs = tuple(
+        (
+            PhaseDef(
+                f"ejb_{component}", per_component, 0.18, 1.75, 0.10,
+                Jit(0.022, 0.12), 0.26, 0.55, "read", 1 / 14_000, _EJB_POOL,
+            ),
+            # JIT/GC interleaving bursts typical of a JVM app server.
+            PhaseDef(
+                f"jvm_gc_{component}", 150_000, 0.30, 2.4, 0.15,
+                0.030, 0.40, 0.70, None, 1 / 30_000, _EJB_POOL,
+            ),
+        )
+        for component in components
+    )
+
+    tail = (
+        PhaseDef(
+            "db_parse", 100_000, 0.12, 1.10, 0.08, 0.006, 0.12, 0.20,
+            "read", 1 / 20_000, _DB_POOL,
+        ),
+        PhaseDef(
+            "db_execute", db_mega * 1_000_000, 0.20, 1.30, 0.08,
+            Jit(0.024, 0.10), 0.38, 0.85, None, 1 / 12_000, _DB_POOL,
+        ),
+        PhaseDef(
+            "ejb_render", 350_000, 0.15, 1.85, 0.10, 0.016, 0.24, 0.40,
+            "read", 1 / 14_000, _EJB_POOL,
+        ),
+        PhaseDef(
+            "tomcat_respond", 220_000, 0.12, 1.55, 0.08, 0.012, 0.20, 0.30,
+            "writev", 1 / 14_000, _WEB_POOL,
+        ),
+    )
+
+    result = (head, comp_pairs, tail)
+    _SEGMENT_CACHE[idx] = result
+    return result
+
 
 class RubisWorkload:
     """Generator for RUBiS auction-site interactions."""
 
     name = "rubis"
+    #: Per-phase jitter makes behavior values effectively unique, so
+    #: whole-behavior-set memo keys never recur (fastpath hint).
+    jittered_behaviors = True
     sampling_period_us = 100.0
     window_instructions = 100_000
     kinds = tuple(i[0] for i in INTERACTION_MIX)
@@ -60,104 +134,22 @@ class RubisWorkload:
     def sample_request(self, rng: np.random.Generator, request_id: int) -> RequestSpec:
         mix = np.array([i[1] for i in INTERACTION_MIX])
         idx = int(rng.choice(len(INTERACTION_MIX), p=mix / mix.sum()))
-        kind, _, components, db_mega, ejb_mega = INTERACTION_MIX[idx]
+        kind, _, components, _, _ = INTERACTION_MIX[idx]
         category = int(rng.integers(20))
+        head, comp_pairs, tail = interaction_segments(idx)
 
-        web_in = [
-            phase(
-                "tomcat_parse",
-                jittered_int(rng, 180_000, 0.12),
-                cpi=jittered(rng, 1.45, 0.08),
-                refs=0.014,
-                miss=0.22,
-                footprint=0.35,
-                entry="read",
-                rate=1 / 14_000,
-                pool=_WEB_POOL,
-            )
-        ]
+        web_in = materialize(rng, head)
 
         ejb_phases: List[Phase] = []
-        per_component = ejb_mega * 1_000_000 / len(components)
-        for component in components:
-            ejb_phases.append(
-                phase(
-                    f"ejb_{component}",
-                    jittered_int(rng, per_component, 0.18),
-                    cpi=jittered(rng, 1.75, 0.10),
-                    refs=jittered(rng, 0.022, 0.12),
-                    miss=0.26,
-                    footprint=0.55,
-                    entry="read",
-                    rate=1 / 14_000,
-                    pool=_EJB_POOL,
-                )
-            )
-            # JIT/GC interleaving bursts typical of a JVM app server.
-            if rng.random() < 0.30:
-                ejb_phases.append(
-                    phase(
-                        f"jvm_gc_{component}",
-                        jittered_int(rng, 150_000, 0.30),
-                        cpi=jittered(rng, 2.4, 0.15),
-                        refs=0.030,
-                        miss=0.40,
-                        footprint=0.70,
-                        rate=1 / 30_000,
-                        pool=_EJB_POOL,
-                    )
-                )
+        for comp_def, gc_def in comp_pairs:
+            ejb_phases.extend(materialize(rng, (comp_def,)))
+            if rng.random() < GC_PROBABILITY:
+                ejb_phases.extend(materialize(rng, (gc_def,)))
 
-        db_phases = [
-            phase(
-                "db_parse",
-                jittered_int(rng, 100_000, 0.12),
-                cpi=jittered(rng, 1.10, 0.08),
-                refs=0.006,
-                miss=0.12,
-                footprint=0.20,
-                entry="read",
-                rate=1 / 20_000,
-                pool=_DB_POOL,
-            ),
-            phase(
-                "db_execute",
-                jittered_int(rng, db_mega * 1_000_000, 0.20),
-                cpi=jittered(rng, 1.30, 0.08),
-                refs=jittered(rng, 0.024, 0.10),
-                miss=0.38,
-                footprint=0.85,
-                rate=1 / 12_000,
-                pool=_DB_POOL,
-            ),
-        ]
-
-        render = [
-            phase(
-                "ejb_render",
-                jittered_int(rng, 350_000, 0.15),
-                cpi=jittered(rng, 1.85, 0.10),
-                refs=0.016,
-                miss=0.24,
-                footprint=0.40,
-                entry="read",
-                rate=1 / 14_000,
-                pool=_EJB_POOL,
-            )
-        ]
-        web_out = [
-            phase(
-                "tomcat_respond",
-                jittered_int(rng, 220_000, 0.12),
-                cpi=jittered(rng, 1.55, 0.08),
-                refs=0.012,
-                miss=0.20,
-                footprint=0.30,
-                entry="writev",
-                rate=1 / 14_000,
-                pool=_WEB_POOL,
-            )
-        ]
+        tail_phases = materialize(rng, tail)
+        db_phases = tail_phases[:2]
+        render = tail_phases[2:3]
+        web_out = tail_phases[3:4]
 
         stages = (
             Stage(tier="tomcat", phases=tuple(web_in)),
@@ -173,3 +165,4 @@ class RubisWorkload:
             stages=stages,
             metadata={"category": category, "components": components},
         )
+

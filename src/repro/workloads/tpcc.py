@@ -7,16 +7,24 @@ writes, commit).  The distinct per-type CPI levels produce the multi-cluster
 per-request CPI distribution of Figure 1, and the item-loop structure
 produces the spiky intra-request CPI pattern of Figure 2 (a new-order
 transaction executes ~1.4 M instructions).
+
+Phase plans are declarative :class:`~repro.workloads.util.PhaseDef`
+tables produced by pure functions (:func:`transaction_phase_defs` and the
+new-order head/body split), shared between the scalar reference
+materializer and the vectorized generation fast path.  New-order is the
+one plan with a mid-plan RNG draw — the item count is drawn *after* the
+parse phase's jitters — so its defs are split into a head block and a
+per-item-count body block to keep the reference draw order intact.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
-from repro.workloads.base import Phase, RequestSpec, single_stage
-from repro.workloads.util import jittered, jittered_int, phase
+from repro.workloads.base import RequestSpec, single_stage
+from repro.workloads.util import Jit, PhaseDef, materialize
 
 #: (type name, probability) per the TPC-C mix reported in the paper.
 TRANSACTION_MIX = (
@@ -30,10 +38,125 @@ TRANSACTION_MIX = (
 _DB_POOL = ("pread64", "pwrite64", "read")
 
 
+def _parse(ins: int = 60_000) -> PhaseDef:
+    return PhaseDef("parse_plan", ins, 0.12, 1.05, 0.08, 0.006, 0.12, 0.20, "read")
+
+
+def _btree_lookup(tag: str, ins: int = 45_000, chatter: bool = True) -> PhaseDef:
+    """Index descent: pointer chasing with poor locality (CPI spike)."""
+    return PhaseDef(
+        f"btree_{tag}", ins, 0.18, 1.50, 0.10, Jit(0.033, 0.12), 0.38, 0.55,
+        None, (1 / 60_000) if chatter else 0.0, _DB_POOL if chatter else (),
+    )
+
+
+def _row_update(tag: str, ins: int = 55_000, chatter: bool = True) -> PhaseDef:
+    return PhaseDef(
+        f"update_{tag}", ins, 0.15, 1.10, 0.08, 0.014, 0.18, 0.35,
+        None, (1 / 60_000) if chatter else 0.0, _DB_POOL if chatter else (),
+    )
+
+
+def _log_write(ins: int = 80_000) -> PhaseDef:
+    return PhaseDef("log_write", ins, 0.12, 1.00, 0.08, 0.006, 0.10, 0.15, "write")
+
+
+def _commit(ins: int = 40_000) -> PhaseDef:
+    return PhaseDef("commit", ins, 0.12, 0.80, 0.08, 0.004, 0.08, 0.10, "fdatasync")
+
+
+def _respond(ins: int = 25_000) -> PhaseDef:
+    return PhaseDef("respond", ins, 0.12, 1.00, 0.08, 0.004, 0.08, 0.10, "write")
+
+
+#: New-order defs before the item-count draw (parse only).
+NEW_ORDER_HEAD: Tuple[PhaseDef, ...] = (_parse(),)
+
+
+def new_order_body_defs(n_items: int) -> Tuple[PhaseDef, ...]:
+    """New-order defs after the item-count draw: item loop + insert/commit."""
+    defs: List[PhaseDef] = []
+    for i in range(n_items):
+        defs.append(_btree_lookup(f"item{i}"))
+        defs.append(_row_update(f"stock{i}"))
+    defs.append(_btree_lookup("district", ins=60_000))
+    defs.append(_row_update("order_insert", ins=140_000))
+    defs.append(_log_write())
+    defs.append(_commit())
+    defs.append(_respond())
+    return tuple(defs)
+
+
+def _payment_defs() -> Tuple[PhaseDef, ...]:
+    return (
+        _parse(ins=50_000),
+        _btree_lookup("warehouse", ins=40_000),
+        _btree_lookup("customer", ins=120_000),
+        _row_update("balance", ins=90_000),
+        _row_update("history_insert", ins=110_000),
+        _log_write(ins=70_000),
+        _commit(ins=35_000),
+        _respond(),
+    )
+
+
+def _order_status_defs() -> Tuple[PhaseDef, ...]:
+    return (
+        _parse(ins=45_000),
+        _btree_lookup("customer", ins=110_000),
+        _btree_lookup("last_order", ins=90_000),
+        PhaseDef("scan_order_lines", 180_000, 0.20, 1.50, 0.10, 0.024, 0.35, 0.60),
+        _respond(ins=40_000),
+    )
+
+
+def _delivery_defs() -> Tuple[PhaseDef, ...]:
+    defs: List[PhaseDef] = [_parse(ins=55_000)]
+    for i in range(10):  # one order per district
+        defs.append(_btree_lookup(f"oldest_order_d{i}", ins=110_000, chatter=False))
+        defs.append(_row_update(f"deliver_d{i}", ins=240_000, chatter=False))
+    defs.append(_log_write(ins=120_000))
+    defs.append(_commit(ins=50_000))
+    defs.append(_respond())
+    return tuple(defs)
+
+
+def _stock_level_defs() -> Tuple[PhaseDef, ...]:
+    return (
+        _parse(ins=50_000),
+        _btree_lookup("district", ins=50_000),
+        PhaseDef(
+            "stock_join_scan", 4_500_000, 0.15, 1.45, 0.08,
+            Jit(0.026, 0.10), 0.42, 0.75,
+        ),
+        _respond(ins=30_000),
+    )
+
+
+_FIXED_PLANS = {
+    "payment": _payment_defs(),
+    "order_status": _order_status_defs(),
+    "delivery": _delivery_defs(),
+    "stock_level": _stock_level_defs(),
+}
+
+
+def transaction_phase_defs(kind: str) -> Tuple[PhaseDef, ...]:
+    """Full phase-def plan for the fixed-shape transaction types.
+
+    ``new_order`` has no fixed plan (its item count is drawn mid-plan);
+    use :data:`NEW_ORDER_HEAD` + :func:`new_order_body_defs` instead.
+    """
+    return _FIXED_PLANS[kind]
+
+
 class TpccWorkload:
     """Generator for TPC-C transactions."""
 
     name = "tpcc"
+    #: Per-phase jitter makes behavior values effectively unique, so
+    #: whole-behavior-set memo keys never recur (fastpath hint).
+    jittered_behaviors = True
     sampling_period_us = 100.0
     window_instructions = 50_000
     kinds = tuple(t[0] for t in TRANSACTION_MIX)
@@ -49,146 +172,15 @@ class TpccWorkload:
         """Materialize one request of a specific transaction type."""
         if kind not in self.kinds:
             raise ValueError(f"unknown transaction type {kind!r}")
-        phases = getattr(self, f"_{kind}")(rng)
+        if kind == "new_order":
+            phases = materialize(rng, NEW_ORDER_HEAD)
+            n_items = int(rng.integers(8, 13))
+            phases.extend(materialize(rng, new_order_body_defs(n_items)))
+        else:
+            phases = materialize(rng, transaction_phase_defs(kind))
         return RequestSpec(
             request_id=request_id,
             app=self.name,
             kind=kind,
             stages=single_stage("mysql", phases),
         )
-
-    def _parse(self, rng, ins=60_000) -> Phase:
-        return phase(
-            "parse_plan",
-            jittered_int(rng, ins, 0.12),
-            cpi=jittered(rng, 1.05, 0.08),
-            refs=0.006,
-            miss=0.12,
-            footprint=0.20,
-            entry="read",
-        )
-
-    def _btree_lookup(self, rng, tag: str, ins=45_000, chatter=True) -> Phase:
-        """Index descent: pointer chasing with poor locality (CPI spike)."""
-        return phase(
-            f"btree_{tag}",
-            jittered_int(rng, ins, 0.18),
-            cpi=jittered(rng, 1.50, 0.10),
-            refs=jittered(rng, 0.033, 0.12),
-            miss=0.38,
-            footprint=0.55,
-            rate=(1 / 60_000) if chatter else 0.0,
-            pool=_DB_POOL if chatter else (),
-        )
-
-    def _row_update(self, rng, tag: str, ins=55_000, chatter=True) -> Phase:
-        return phase(
-            f"update_{tag}",
-            jittered_int(rng, ins, 0.15),
-            cpi=jittered(rng, 1.10, 0.08),
-            refs=0.014,
-            miss=0.18,
-            footprint=0.35,
-            rate=(1 / 60_000) if chatter else 0.0,
-            pool=_DB_POOL if chatter else (),
-        )
-
-    def _log_write(self, rng, ins=80_000) -> Phase:
-        return phase(
-            "log_write",
-            jittered_int(rng, ins, 0.12),
-            cpi=jittered(rng, 1.00, 0.08),
-            refs=0.006,
-            miss=0.10,
-            footprint=0.15,
-            entry="write",
-        )
-
-    def _commit(self, rng, ins=40_000) -> Phase:
-        return phase(
-            "commit",
-            jittered_int(rng, ins, 0.12),
-            cpi=jittered(rng, 0.80, 0.08),
-            refs=0.004,
-            miss=0.08,
-            footprint=0.10,
-            entry="fdatasync",
-        )
-
-    def _respond(self, rng, ins=25_000) -> Phase:
-        return phase(
-            "respond",
-            jittered_int(rng, ins, 0.12),
-            cpi=jittered(rng, 1.00, 0.08),
-            refs=0.004,
-            miss=0.08,
-            footprint=0.10,
-            entry="write",
-        )
-
-    def _new_order(self, rng) -> List[Phase]:
-        phases = [self._parse(rng)]
-        n_items = int(rng.integers(8, 13))
-        for i in range(n_items):
-            phases.append(self._btree_lookup(rng, f"item{i}"))
-            phases.append(self._row_update(rng, f"stock{i}"))
-        phases.append(self._btree_lookup(rng, "district", ins=60_000))
-        phases.append(self._row_update(rng, "order_insert", ins=140_000))
-        phases.append(self._log_write(rng))
-        phases.append(self._commit(rng))
-        phases.append(self._respond(rng))
-        return phases
-
-    def _payment(self, rng) -> List[Phase]:
-        phases = [self._parse(rng, ins=50_000)]
-        phases.append(self._btree_lookup(rng, "warehouse", ins=40_000))
-        phases.append(self._btree_lookup(rng, "customer", ins=120_000))
-        phases.append(self._row_update(rng, "balance", ins=90_000))
-        phases.append(self._row_update(rng, "history_insert", ins=110_000))
-        phases.append(self._log_write(rng, ins=70_000))
-        phases.append(self._commit(rng, ins=35_000))
-        phases.append(self._respond(rng))
-        return phases
-
-    def _order_status(self, rng) -> List[Phase]:
-        phases = [self._parse(rng, ins=45_000)]
-        phases.append(self._btree_lookup(rng, "customer", ins=110_000))
-        phases.append(self._btree_lookup(rng, "last_order", ins=90_000))
-        phases.append(
-            phase(
-                "scan_order_lines",
-                jittered_int(rng, 180_000, 0.20),
-                cpi=jittered(rng, 1.50, 0.10),
-                refs=0.024,
-                miss=0.35,
-                footprint=0.60,
-            )
-        )
-        phases.append(self._respond(rng, ins=40_000))
-        return phases
-
-    def _delivery(self, rng) -> List[Phase]:
-        phases = [self._parse(rng, ins=55_000)]
-        for i in range(10):  # one order per district
-            phases.append(self._btree_lookup(rng, f"oldest_order_d{i}", ins=110_000, chatter=False))
-            phases.append(self._row_update(rng, f"deliver_d{i}", ins=240_000, chatter=False))
-        phases.append(self._log_write(rng, ins=120_000))
-        phases.append(self._commit(rng, ins=50_000))
-        phases.append(self._respond(rng))
-        return phases
-
-    def _stock_level(self, rng) -> List[Phase]:
-        phases = [self._parse(rng, ins=50_000)]
-        phases.append(self._btree_lookup(rng, "district", ins=50_000))
-        phases.append(
-            phase(
-                "stock_join_scan",
-                jittered_int(rng, 4_500_000, 0.15),
-                cpi=jittered(rng, 1.45, 0.08),
-                refs=jittered(rng, 0.026, 0.10),
-                miss=0.42,
-                footprint=0.75,
-            )
-        )
-        phases.append(self._respond(rng, ins=30_000))
-        return phases

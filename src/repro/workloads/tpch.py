@@ -9,16 +9,22 @@ TPC-H is the one application whose intra-request variation adds little over
 its inter-request variation (Figure 3).  Scan-dominated phases make heavy
 use of the shared L2 (large footprint), which is why multicore co-running
 roughly doubles the 90-percentile request CPI (Figure 1).
+
+Each query's full phase-def plan is a pure deterministic function of the
+query kind (:func:`query_phase_defs` — the per-query fingerprint RNG is
+seeded from the kind, never from the main stream), so the plan is computed
+once per kind and shared by the scalar reference materializer and the
+vectorized generation fast path.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Tuple
 
 import numpy as np
 
-from repro.workloads.base import Phase, RequestSpec, single_stage
-from repro.workloads.util import jittered, jittered_int, phase
+from repro.workloads.base import RequestSpec, single_stage
+from repro.workloads.util import Jit, PhaseDef, materialize
 
 _DB_POOL = ("pread64", "read", "lseek")
 
@@ -54,11 +60,60 @@ QUERY_PLANS = {
     "Q22": [("scan", 10), ("join", 8), ("aggregate", 6)],
 }
 
+_DEF_CACHE = {}
+
+
+def query_phase_defs(kind: str) -> Tuple[PhaseDef, ...]:
+    """Phase-def plan for one query kind.  Pure; no main-RNG draws.
+
+    The per-query fingerprint is stable: each query's operators touch
+    different tables and indices, so their hardware behavior differs
+    deterministically across query types (what makes early online
+    identification of TPCH requests possible, Figure 10).
+    """
+    cached = _DEF_CACHE.get(kind)
+    if cached is not None:
+        return cached
+    plan = QUERY_PLANS[kind]
+    fingerprint_rng = np.random.default_rng(1000 + int(kind[1:]))
+    defs = [
+        PhaseDef("parse_optimize", 400_000, 0.10, 1.10, 0.05, 0.006, 0.12, 0.20, "read")
+    ]
+    for step, (op, mega_ins) in enumerate(plan):
+        cpi, refs, miss, footprint, rate = _OPERATORS[op]
+        cpi = cpi * float(fingerprint_rng.uniform(0.95, 1.10))
+        refs = refs * float(fingerprint_rng.uniform(0.82, 1.18))
+        miss = min(0.9, miss * float(fingerprint_rng.uniform(0.9, 1.1)))
+        # Each operator warms the buffer pool as it runs: its miss
+        # ratio ramps down over three sub-spans.  This within-request
+        # drift is why a whole-request average is a poor online
+        # predictor of the coming period's misses (Figure 11).
+        for sub, miss_factor in enumerate((1.35, 1.0, 0.72)):
+            defs.append(
+                PhaseDef(
+                    f"{op}_{step}_{sub}", mega_ins * 1_000_000 / 3, 0.04,
+                    cpi, 0.03, Jit(refs, 0.04), min(0.95, miss * miss_factor),
+                    footprint, None, rate, _DB_POOL,
+                )
+            )
+    defs.append(
+        PhaseDef(
+            "send_results", 300_000, 0.15, 1.00, 0.06, 0.005, 0.10, 0.10,
+            "write", 1 / 30_000, ("write", "sendto"),
+        )
+    )
+    result = tuple(defs)
+    _DEF_CACHE[kind] = result
+    return result
+
 
 class TpchWorkload:
     """Generator for the 17-query TPC-H subset."""
 
     name = "tpch"
+    #: Per-phase jitter makes behavior values effectively unique, so
+    #: whole-behavior-set memo keys never recur (fastpath hint).
+    jittered_behaviors = True
     sampling_period_us = 1_000.0
     window_instructions = 1_000_000
     kinds = tuple(QUERY_PLANS)
@@ -71,58 +126,7 @@ class TpchWorkload:
         self, rng: np.random.Generator, request_id: int, kind: str
     ) -> RequestSpec:
         """Materialize one request of a specific query type."""
-        plan = QUERY_PLANS[kind]
-        # Stable per-query fingerprint: each query's operators touch
-        # different tables and indices, so their hardware behavior differs
-        # deterministically across query types (what makes early online
-        # identification of TPCH requests possible, Figure 10).
-        fingerprint_rng = np.random.default_rng(1000 + int(kind[1:]))
-        phases: List[Phase] = [
-            phase(
-                "parse_optimize",
-                jittered_int(rng, 400_000, 0.10),
-                cpi=jittered(rng, 1.10, 0.05),
-                refs=0.006,
-                miss=0.12,
-                footprint=0.20,
-                entry="read",
-            )
-        ]
-        for step, (op, mega_ins) in enumerate(plan):
-            cpi, refs, miss, footprint, rate = _OPERATORS[op]
-            cpi = cpi * float(fingerprint_rng.uniform(0.95, 1.10))
-            refs = refs * float(fingerprint_rng.uniform(0.82, 1.18))
-            miss = min(0.9, miss * float(fingerprint_rng.uniform(0.9, 1.1)))
-            # Each operator warms the buffer pool as it runs: its miss
-            # ratio ramps down over three sub-spans.  This within-request
-            # drift is why a whole-request average is a poor online
-            # predictor of the coming period's misses (Figure 11).
-            for sub, miss_factor in enumerate((1.35, 1.0, 0.72)):
-                phases.append(
-                    phase(
-                        f"{op}_{step}_{sub}",
-                        jittered_int(rng, mega_ins * 1_000_000 / 3, 0.04),
-                        cpi=jittered(rng, cpi, 0.03),
-                        refs=jittered(rng, refs, 0.04),
-                        miss=min(0.95, miss * miss_factor),
-                        footprint=footprint,
-                        rate=rate,
-                        pool=_DB_POOL,
-                    )
-                )
-        phases.append(
-            phase(
-                "send_results",
-                jittered_int(rng, 300_000, 0.15),
-                cpi=jittered(rng, 1.00, 0.06),
-                refs=0.005,
-                miss=0.10,
-                footprint=0.10,
-                entry="write",
-                rate=1 / 30_000,
-                pool=("write", "sendto"),
-            )
-        )
+        phases = materialize(rng, query_phase_defs(kind))
         return RequestSpec(
             request_id=request_id,
             app=self.name,

@@ -1,6 +1,28 @@
-"""Small helpers shared by the workload generators."""
+"""Small helpers shared by the workload generators.
+
+Beyond the scalar jitter helpers, this module defines the *phase-def*
+layer: a declarative description of one phase's nominal parameters
+(:class:`PhaseDef`), with jittered fields marked by :class:`Jit`.  Each
+generator module exports pure def producers (no main-RNG draws), and two
+materializers turn defs into phases:
+
+* :func:`materialize` — the scalar reference path: one ``jittered`` /
+  ``jittered_int`` draw per field, in pinned (instructions, cpi, refs)
+  order, building validated frozen :class:`~repro.workloads.base.Phase`
+  dataclasses;
+* :class:`repro.workloads.genfast.PhaseBlock` — the generation fast
+  path: the same defs compiled once into vectorized jitter tables that
+  consume one block-drawn normal array per request in the identical
+  bitstream order.
+
+Keeping both consumers on one def table is what makes the fast path's
+byte-identity a structural property instead of a parallel-maintenance
+burden.
+"""
 
 from __future__ import annotations
+
+from typing import NamedTuple, Optional, Tuple, Union
 
 import numpy as np
 
@@ -22,6 +44,66 @@ def jittered_int(rng: np.random.Generator, value: float, frac: float, lo: int = 
     return max(lo, int(round(jittered(rng, value, frac))))
 
 
+class Jit(NamedTuple):
+    """Marks a per-request jittered field of a :class:`PhaseDef`."""
+
+    base: float
+    frac: float
+
+
+class PhaseDef(NamedTuple):
+    """Nominal parameters of one phase, before per-request jitter.
+
+    ``instructions`` and ``cpi`` are always jittered (by ``ins_frac`` /
+    ``cpi_frac``); ``refs`` is either a plain float (constant across
+    requests) or a :class:`Jit`.  ``miss``/``footprint``/``entry``/
+    ``rate``/``pool`` are template constants.
+    """
+
+    name: str
+    instructions: float
+    ins_frac: float
+    cpi: float
+    cpi_frac: float
+    refs: Union[float, Jit]
+    miss: float
+    footprint: float
+    entry: Optional[str] = None
+    rate: float = 0.0
+    pool: Tuple[str, ...] = ()
+
+
+def materialize(rng: np.random.Generator, defs) -> list:
+    """Scalar reference materializer: defs -> jittered ``Phase`` list.
+
+    Draw order per def is pinned to (instructions, cpi, refs?) — the
+    order every generator has always used — so the RNG bitstream is
+    unchanged by the def-table refactor and the generation fast path can
+    reproduce it with one block draw.
+    """
+    phases = []
+    for d in defs:
+        ins = jittered_int(rng, d.instructions, d.ins_frac)
+        cpi = jittered(rng, d.cpi, d.cpi_frac)
+        refs = d.refs
+        if type(refs) is Jit:
+            refs = jittered(rng, refs.base, refs.frac)
+        phases.append(
+            phase(
+                d.name,
+                ins,
+                cpi=cpi,
+                refs=refs,
+                miss=d.miss,
+                footprint=d.footprint,
+                entry=d.entry,
+                rate=d.rate,
+                pool=d.pool,
+            )
+        )
+    return phases
+
+
 def phase(
     name: str,
     instructions: int,
@@ -29,20 +111,34 @@ def phase(
     refs: float,
     miss: float,
     footprint: float,
-    entry: str = None,
+    entry: Optional[str] = None,
     rate: float = 0.0,
-    pool: tuple = (),
+    pool: Tuple[str, ...] = (),
 ) -> Phase:
-    """Terse phase constructor used throughout the generators."""
-    return Phase(
-        name=name,
-        instructions=int(instructions),
-        behavior=PhaseBehavior(
+    """Terse phase constructor used throughout the generators.
+
+    Validates the behavior fields up front so a bad generator constant
+    fails with the *phase name* attached instead of a bare
+    ``PhaseBehavior`` field error.
+    """
+    if refs < 0 or miss < 0 or footprint < 0:
+        raise ValueError(
+            f"phase {name!r}: refs/miss/footprint must be non-negative "
+            f"(got refs={refs}, miss={miss}, footprint={footprint})"
+        )
+    try:
+        behavior = PhaseBehavior(
             base_cpi=cpi,
             l2_refs_per_ins=refs,
             l2_miss_ratio=miss,
             cache_footprint=footprint,
-        ),
+        )
+    except ValueError as exc:
+        raise ValueError(f"phase {name!r}: {exc}") from None
+    return Phase(
+        name=name,
+        instructions=int(instructions),
+        behavior=behavior,
         entry_syscall=entry,
         syscall_rate_per_ins=rate,
         syscall_pool=pool,

@@ -9,16 +9,23 @@ syscall-entry behavior transitions the paper trains on in Table 2:
 ``writev`` (HTTP header write, fragmented piecemeal memory accesses -> CPI
 jumps up), ``stat``/``lseek`` (metadata / seek work -> CPI drops), ``poll``
 (readiness wait -> CPI rises), etc.
+
+The phase plan for a request is produced declaratively by
+:func:`request_phase_defs` — a pure function of the file's size and
+fingerprint with no main-RNG draws — and materialized with per-request
+jitter by :func:`repro.workloads.util.materialize` (reference path) or the
+vectorized :mod:`repro.workloads.genfast` templates (fast path).  Both
+consume the same defs, so the two paths cannot drift apart.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import NamedTuple, Tuple
 
 import numpy as np
 
-from repro.workloads.base import Phase, RequestSpec, single_stage
-from repro.workloads.util import jittered, jittered_int, phase
+from repro.workloads.base import RequestSpec, single_stage
+from repro.workloads.util import PhaseDef, materialize
 
 #: SPECweb99 static file classes: (class name, min bytes, max bytes, mix).
 FILE_CLASSES = (
@@ -36,6 +43,104 @@ CHUNK_BYTES = 65_536
 _IO_POOL = ("poll", "gettimeofday", "read")
 _BODY_POOL = ("write", "sendfile64")
 
+_IO_RATE = 1 / 9_000
+
+
+class FileFingerprint(NamedTuple):
+    """Stable per-file behavioral fingerprint (same file -> same costs)."""
+
+    parse_scale: float
+    meta_scale: float
+    header_cpi: float
+    parse_refs: float
+    header_refs: float
+    body_refs: float
+
+
+def file_fingerprint(file_seed: int) -> FileFingerprint:
+    """Derive a file's behavioral fingerprint from its catalog seed.
+
+    URL/metadata handling costs vary per file but are stable across
+    requests for the same file — which is what makes online signature
+    identification of repeated requests possible (Figure 10).
+    """
+    file_rng = np.random.default_rng(file_seed)
+    return FileFingerprint(
+        parse_scale=float(file_rng.uniform(0.8, 1.25)),
+        meta_scale=float(file_rng.uniform(0.75, 1.3)),
+        header_cpi=float(file_rng.uniform(3.8, 4.8)),
+        parse_refs=float(file_rng.uniform(0.003, 0.007)),
+        header_refs=float(file_rng.uniform(0.014, 0.026)),
+        body_refs=float(file_rng.uniform(0.012, 0.020)),
+    )
+
+
+def request_phase_defs(file_bytes: int, fp: FileFingerprint) -> Tuple[PhaseDef, ...]:
+    """Phase-def plan for serving one file.  Pure; no main-RNG draws."""
+    defs = [
+        PhaseDef(
+            "accept_parse", 25_000 * fp.parse_scale, 0.06, 1.00, 0.08,
+            fp.parse_refs, 0.10, 0.15, "read", _IO_RATE, _IO_POOL,
+        ),
+        PhaseDef(
+            "stat_file", 14_000 * fp.meta_scale, 0.06, 0.75, 0.08,
+            0.002, 0.05, 0.05, "stat", _IO_RATE, _IO_POOL,
+        ),
+        PhaseDef(
+            "open_file", 34_000 * fp.meta_scale, 0.06, 0.82, 0.08,
+            0.003, 0.08, 0.05, "open", _IO_RATE, _IO_POOL,
+        ),
+        # HTTP header construction: the paper observes the writev entry
+        # signals a large CPI increase (+3.66 +- 2.27 in Table 2).
+        PhaseDef(
+            "write_headers", 14_000 * fp.parse_scale, 0.08, fp.header_cpi, 0.06,
+            fp.header_refs, 0.35, 0.10, "writev", _IO_RATE, _IO_POOL,
+        ),
+    ]
+
+    remaining = file_bytes
+    chunk_idx = 0
+    while remaining > 0:
+        chunk = min(remaining, CHUNK_BYTES)
+        remaining -= chunk
+        if chunk_idx > 0:
+            # Between chunks of large files: wait for socket readiness
+            # (poll -> CPI up) then reposition (lseek -> CPI down).
+            defs.append(
+                PhaseDef(
+                    f"poll_wait_{chunk_idx}", 20_000, 0.25, 3.4, 0.15,
+                    0.006, 0.15, 0.05, "poll", _IO_RATE, _IO_POOL,
+                )
+            )
+            defs.append(
+                PhaseDef(
+                    f"seek_{chunk_idx}", 10_000, 0.25, 0.65, 0.10,
+                    0.002, 0.05, 0.05, "lseek", _IO_RATE, _IO_POOL,
+                )
+            )
+        body_ins = max(4_000, int(chunk * INS_PER_BYTE))
+        defs.append(
+            PhaseDef(
+                f"send_body_{chunk_idx}", body_ins, 0.08, 1.35, 0.08,
+                fp.body_refs, 0.25, 0.40, "write", 1 / 6_500, _BODY_POOL,
+            )
+        )
+        chunk_idx += 1
+
+    defs.append(
+        PhaseDef(
+            "shutdown_conn", 12_000, 0.20, 3.6, 0.12,
+            0.004, 0.10, 0.05, "shutdown", _IO_RATE, _IO_POOL,
+        )
+    )
+    defs.append(
+        PhaseDef(
+            "access_log", 12_000, 0.20, 1.30, 0.10,
+            0.004, 0.10, 0.05, "write", _IO_RATE, _IO_POOL,
+        )
+    )
+    return tuple(defs)
+
 
 class WebServerWorkload:
     """Generator for Apache/SPECweb99 static requests.
@@ -49,6 +154,9 @@ class WebServerWorkload:
     """
 
     name = "webserver"
+    #: Per-phase jitter makes behavior values effectively unique, so
+    #: whole-behavior-set memo keys never recur (fastpath hint).
+    jittered_behaviors = True
     sampling_period_us = 10.0
     #: Fixed-instruction resampling window for metric series.
     window_instructions = 10_000
@@ -75,149 +183,7 @@ class WebServerWorkload:
         cls_name = FILE_CLASSES[cls_idx][0]
         file_idx = int(rng.choice(self.files_per_class, p=self._popularity))
         file_bytes, file_seed = self._catalog[cls_name][file_idx]
-        # Per-file behavioral fingerprint: URL/metadata handling costs vary
-        # per file but are stable across requests for the same file.
-        file_rng = np.random.default_rng(file_seed)
-        parse_scale = float(file_rng.uniform(0.8, 1.25))
-        meta_scale = float(file_rng.uniform(0.75, 1.3))
-        header_cpi = float(file_rng.uniform(3.8, 4.8))
-        parse_refs = float(file_rng.uniform(0.003, 0.007))
-        header_refs = float(file_rng.uniform(0.014, 0.026))
-        body_refs = float(file_rng.uniform(0.012, 0.020))
-
-        phases: List[Phase] = []
-        phases.append(
-            phase(
-                "accept_parse",
-                jittered_int(rng, 25_000 * parse_scale, 0.06),
-                cpi=jittered(rng, 1.00, 0.08),
-                refs=parse_refs,
-                miss=0.10,
-                footprint=0.15,
-                entry="read",
-                rate=1 / 9_000,
-                pool=_IO_POOL,
-            )
-        )
-        phases.append(
-            phase(
-                "stat_file",
-                jittered_int(rng, 14_000 * meta_scale, 0.06),
-                cpi=jittered(rng, 0.75, 0.08),
-                refs=0.002,
-                miss=0.05,
-                footprint=0.05,
-                entry="stat",
-                rate=1 / 9_000,
-                pool=_IO_POOL,
-            )
-        )
-        phases.append(
-            phase(
-                "open_file",
-                jittered_int(rng, 34_000 * meta_scale, 0.06),
-                cpi=jittered(rng, 0.82, 0.08),
-                refs=0.003,
-                miss=0.08,
-                footprint=0.05,
-                entry="open",
-                rate=1 / 9_000,
-                pool=_IO_POOL,
-            )
-        )
-        # HTTP header construction: the paper observes the writev entry
-        # signals a large CPI increase (+3.66 +- 2.27 in Table 2).
-        phases.append(
-            phase(
-                "write_headers",
-                jittered_int(rng, 14_000 * parse_scale, 0.08),
-                cpi=jittered(rng, header_cpi, 0.06),
-                refs=header_refs,
-                miss=0.35,
-                footprint=0.10,
-                entry="writev",
-                rate=1 / 9_000,
-                pool=_IO_POOL,
-            )
-        )
-
-        remaining = file_bytes
-        chunk_idx = 0
-        while remaining > 0:
-            chunk = min(remaining, CHUNK_BYTES)
-            remaining -= chunk
-            if chunk_idx > 0:
-                # Between chunks of large files: wait for socket readiness
-                # (poll -> CPI up) then reposition (lseek -> CPI down).
-                phases.append(
-                    phase(
-                        f"poll_wait_{chunk_idx}",
-                        jittered_int(rng, 20_000, 0.25),
-                        cpi=jittered(rng, 3.4, 0.15),
-                        refs=0.006,
-                        miss=0.15,
-                        footprint=0.05,
-                        entry="poll",
-                        rate=1 / 9_000,
-                        pool=_IO_POOL,
-                    )
-                )
-                phases.append(
-                    phase(
-                        f"seek_{chunk_idx}",
-                        jittered_int(rng, 10_000, 0.25),
-                        cpi=jittered(rng, 0.65, 0.10),
-                        refs=0.002,
-                        miss=0.05,
-                        footprint=0.05,
-                        entry="lseek",
-                        rate=1 / 9_000,
-                        pool=_IO_POOL,
-                    )
-                )
-            body_ins = max(4_000, int(chunk * INS_PER_BYTE))
-            phases.append(
-                phase(
-                    f"send_body_{chunk_idx}",
-                    jittered_int(rng, body_ins, 0.08),
-                    cpi=jittered(rng, 1.35, 0.08),
-                    refs=body_refs,
-                    miss=0.25,
-                    footprint=0.40,
-                    entry="write",
-                    rate=1 / 6_500,
-                    pool=_BODY_POOL,
-                )
-            )
-            chunk_idx += 1
-
-        phases.append(
-            phase(
-                "shutdown_conn",
-                jittered_int(rng, 12_000, 0.20),
-                cpi=jittered(rng, 3.6, 0.12),
-                refs=0.004,
-                miss=0.10,
-                footprint=0.05,
-                entry="shutdown",
-                rate=1 / 9_000,
-                pool=_IO_POOL,
-            )
-        )
-        phases.append(
-            phase(
-                "access_log",
-                jittered_int(rng, 12_000, 0.20),
-                cpi=jittered(rng, 1.30, 0.10),
-                refs=0.004,
-                miss=0.10,
-                footprint=0.05,
-                entry="write",
-                rate=1 / 9_000,
-                pool=_IO_POOL,
-            )
-        )
-
+        phases = materialize(rng, request_phase_defs(file_bytes, file_fingerprint(file_seed)))
         return RequestSpec(
             request_id=request_id,
             app=self.name,

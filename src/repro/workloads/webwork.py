@@ -15,16 +15,21 @@ applications: several hundred million instructions (Figure 2 shows one at
 * processing is compute-intensive with few system calls (81% probability of
   a syscall only within 1 ms, Figure 4) and a tiny shared-cache footprint,
   so multicore co-running barely affects it (Figure 1).
+
+A problem's phase-def plan is a pure deterministic function of the problem
+id (:func:`problem_phase_defs`): the problem-content RNG it consumes is
+seeded from the id and independent of the main request stream, so all its
+draws hoist into the producer without perturbing either bitstream.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Tuple
 
 import numpy as np
 
-from repro.workloads.base import Phase, RequestSpec, single_stage
-from repro.workloads.util import jittered, jittered_int, phase
+from repro.workloads.base import RequestSpec, single_stage
+from repro.workloads.util import PhaseDef, materialize
 
 _PERL_POOL = ("brk", "mmap", "stat")
 
@@ -42,11 +47,89 @@ _PRELUDE = (
     ("problem_fetch", 3_000_000, 1.20, "open"),
 )
 
+_PERL_RATE = 1 / 1_200_000
+
+_DEF_CACHE = {}
+
+
+def problem_phase_defs(problem_id: int) -> Tuple[PhaseDef, ...]:
+    """Phase-def plan for one problem id.  Pure; no main-RNG draws.
+
+    The problem script is fixed content, so requests for the same problem
+    share macro structure: which modules run, their lengths and inherent
+    CPIs, and where graphics bursts fall are all determined here, while
+    per-request jitter stays small (applied by the materializer).
+    """
+    cached = _DEF_CACHE.get(problem_id)
+    if cached is not None:
+        return cached
+
+    defs = [
+        # Identical prelude (near-zero jitter: same code path every time).
+        PhaseDef(name, ins, 0.01, cpi, 0.01, 0.002, 0.15, 0.05,
+                 entry, _PERL_RATE, _PERL_POOL)
+        for name, ins, cpi, entry in _PRELUDE
+    ]
+
+    # Problem-specific translation/compute: deterministic per problem id.
+    problem_rng = np.random.default_rng(problem_id)
+    n_macro = int(problem_rng.integers(5, 11))
+    macro_plan = [
+        (
+            float(problem_rng.uniform(8e6, 30e6)),
+            float(problem_rng.uniform(1.05, 1.65)),
+        )
+        for _ in range(n_macro)
+    ]
+    for step, (ins, cpi) in enumerate(macro_plan):
+        defs.append(
+            PhaseDef(f"translate_{step}", ins, 0.04, cpi, 0.03,
+                     0.002, 0.15, 0.05, None, _PERL_RATE, _PERL_POOL)
+        )
+
+    # Unstable render tail: many fine-grained Perl-module phases.  Two
+    # requests for the same problem share the same instruction stream,
+    # which is what makes reference-driven anomaly analysis (Figure 9)
+    # meaningful.
+    n_tail = int(problem_rng.integers(35, 75))
+    for step in range(n_tail):
+        if problem_rng.random() < 0.12:
+            # Graphics rendering burst: the one WeBWorK activity with a
+            # real shared-cache footprint.
+            defs.append(
+                PhaseDef(
+                    f"render_gfx_{step}",
+                    float(problem_rng.uniform(2e6, 4e6)), 0.03, 2.3, 0.03,
+                    0.012, 0.35, 0.35, None, _PERL_RATE, _PERL_POOL,
+                )
+            )
+        else:
+            defs.append(
+                PhaseDef(
+                    f"perl_module_{step}",
+                    float(problem_rng.uniform(0.8e6, 4e6)), 0.03,
+                    float(problem_rng.uniform(0.95, 2.05)), 0.03,
+                    0.002, 0.15, 0.05, None, _PERL_RATE, _PERL_POOL,
+                )
+            )
+
+    defs.append(
+        PhaseDef("answer_save", 3_000_000, 0.10, 1.20, 0.05,
+                 0.003, 0.12, 0.08, "write", 1 / 1_000_000, _PERL_POOL)
+    )
+
+    result = tuple(defs)
+    _DEF_CACHE[problem_id] = result
+    return result
+
 
 class WeBWorKWorkload:
     """Generator for WeBWorK problem-rendering requests."""
 
     name = "webwork"
+    #: Per-phase jitter makes behavior values effectively unique, so
+    #: whole-behavior-set memo keys never recur (fastpath hint).
+    jittered_behaviors = True
     sampling_period_us = 1_000.0
     window_instructions = 2_000_000
     kinds = tuple(f"problem_{i}" for i in range(NUM_PROBLEMS))
@@ -59,108 +142,7 @@ class WeBWorKWorkload:
         self, rng: np.random.Generator, request_id: int, problem_id: int
     ) -> RequestSpec:
         """Materialize one request rendering a specific problem."""
-        phases: List[Phase] = []
-
-        # Identical prelude (near-zero jitter: same code path every time).
-        for name, ins, cpi, entry in _PRELUDE:
-            phases.append(
-                phase(
-                    name,
-                    jittered_int(rng, ins, 0.01),
-                    cpi=jittered(rng, cpi, 0.01),
-                    refs=0.002,
-                    miss=0.15,
-                    footprint=0.05,
-                    entry=entry,
-                    rate=1 / 1_200_000,
-                    pool=_PERL_POOL,
-                )
-            )
-
-        # Problem-specific translation/compute: deterministic per problem id
-        # (the problem script is fixed content), so requests for the same
-        # problem share macro structure.
-        problem_rng = np.random.default_rng(problem_id)
-        n_macro = int(problem_rng.integers(5, 11))
-        macro_plan = [
-            (
-                float(problem_rng.uniform(8e6, 30e6)),
-                float(problem_rng.uniform(1.05, 1.65)),
-            )
-            for _ in range(n_macro)
-        ]
-        for step, (ins, cpi) in enumerate(macro_plan):
-            phases.append(
-                phase(
-                    f"translate_{step}",
-                    jittered_int(rng, ins, 0.04),
-                    cpi=jittered(rng, cpi, 0.03),
-                    refs=0.002,
-                    miss=0.15,
-                    footprint=0.05,
-                    rate=1 / 1_200_000,
-                    pool=_PERL_POOL,
-                )
-            )
-
-        # Unstable render tail: many fine-grained Perl-module phases.  The
-        # tail *structure* (which modules run, their lengths and inherent
-        # CPIs, where graphics bursts fall) is determined by the problem
-        # content — two requests for the same problem share the same
-        # instruction stream, which is what makes reference-driven anomaly
-        # analysis (Figure 9) meaningful — while per-request jitter stays
-        # small.
-        n_tail = int(problem_rng.integers(35, 75))
-        for step in range(n_tail):
-            if problem_rng.random() < 0.12:
-                # Graphics rendering burst: the one WeBWorK activity with a
-                # real shared-cache footprint.
-                phases.append(
-                    phase(
-                        f"render_gfx_{step}",
-                        jittered_int(
-                            rng, float(problem_rng.uniform(2e6, 4e6)), 0.03
-                        ),
-                        cpi=jittered(rng, 2.3, 0.03),
-                        refs=0.012,
-                        miss=0.35,
-                        footprint=0.35,
-                        rate=1 / 1_200_000,
-                        pool=_PERL_POOL,
-                    )
-                )
-            else:
-                phases.append(
-                    phase(
-                        f"perl_module_{step}",
-                        jittered_int(
-                            rng, float(problem_rng.uniform(0.8e6, 4e6)), 0.03
-                        ),
-                        cpi=jittered(
-                            rng, float(problem_rng.uniform(0.95, 2.05)), 0.03
-                        ),
-                        refs=0.002,
-                        miss=0.15,
-                        footprint=0.05,
-                        rate=1 / 1_200_000,
-                        pool=_PERL_POOL,
-                    )
-                )
-
-        phases.append(
-            phase(
-                "answer_save",
-                jittered_int(rng, 3_000_000, 0.10),
-                cpi=jittered(rng, 1.20, 0.05),
-                refs=0.003,
-                miss=0.12,
-                footprint=0.08,
-                entry="write",
-                rate=1 / 1_000_000,
-                pool=_PERL_POOL,
-            )
-        )
-
+        phases = materialize(rng, problem_phase_defs(problem_id))
         return RequestSpec(
             request_id=request_id,
             app=self.name,

@@ -16,7 +16,9 @@ sampling techniques (interrupt rows, ratecall rows, the trigger
 predicate), open- vs. closed-loop arrivals, non-trivial dispatch, the
 contention-easing scheduler (resched events), bounded-admission
 overload (shedding), and distributed tier placement (network hand-off
-events).
+events).  The workload grid additionally crosses the generation fast
+path (``REPRO_GEN_FASTPATH`` on/off), so every cell is checked with
+both the batched and the reference request synthesizers.
 """
 
 import itertools
@@ -43,7 +45,13 @@ from repro.traffic import (
     RandomDispatch,
     TrafficConfig,
 )
+from repro.workloads.genfast import (
+    GEN_FASTPATH_ENV,
+    FastTpccWorkload,
+    gen_fastpath_enabled,
+)
 from repro.workloads.registry import available_workloads, make_workload
+from repro.workloads.tpcc import TpccWorkload
 
 TRACE_FIELDS = (
     "start",
@@ -138,22 +146,37 @@ def assert_identical(workload_name, config_factory=None, **config_kwargs):
     return fast, ref
 
 
+@pytest.fixture(params=("gen_fast", "gen_ref"))
+def gen_mode(request, monkeypatch):
+    """Run the decorated test under both generation fast-path routings.
+
+    ``_run`` constructs workloads through :func:`make_workload`, which
+    reads ``REPRO_GEN_FASTPATH`` at construction time, so pinning the
+    env var here routes every workload the test builds.
+    """
+    monkeypatch.setenv(
+        GEN_FASTPATH_ENV, "1" if request.param == "gen_fast" else "0"
+    )
+    return request.param
+
+
 class TestWorkloadSamplingGrid:
-    """All registry workloads x all four sampling techniques."""
+    """All registry workloads x all four sampling techniques x both
+    generation routings."""
 
     @pytest.mark.parametrize(
         "workload,policy",
         list(itertools.product(available_workloads(), SAMPLING_POLICIES)),
         ids=lambda value: str(value),
     )
-    def test_byte_identical(self, workload, policy):
+    def test_byte_identical(self, workload, policy, gen_mode):
         assert_identical(workload, sampling=SAMPLING_POLICIES[policy])
 
 
 class TestTrafficLayer:
     """Open-loop arrivals, non-trivial dispatch, overload shedding."""
 
-    def test_poisson_jsq_overload_sheds_identically(self):
+    def test_poisson_jsq_overload_sheds_identically(self, gen_mode):
         traffic = TrafficConfig(
             arrivals=PoissonArrivals(rate_per_s=20_000.0),
             dispatch=JoinShortestQueue(),
@@ -265,3 +288,39 @@ class TestRouting:
                 tuple(t.cycles.tobytes() for t in result.traces),
             )
         assert outputs["1"] == outputs["0"]
+
+
+class TestGenerationRouting:
+    """``REPRO_GEN_FASTPATH`` routes workload construction, not behavior."""
+
+    def test_default_routes_to_fast_generator(self, monkeypatch):
+        monkeypatch.delenv(GEN_FASTPATH_ENV, raising=False)
+        assert gen_fastpath_enabled()
+        assert type(make_workload("tpcc")) is FastTpccWorkload
+
+    def test_kill_switch_routes_to_reference_generator(self, monkeypatch):
+        monkeypatch.setenv(GEN_FASTPATH_ENV, "0")
+        assert not gen_fastpath_enabled()
+        assert type(make_workload("tpcc")) is TpccWorkload
+
+    def test_all_four_env_corners_agree_end_to_end(self, monkeypatch):
+        """Both kill switches, all four positions, identical bytes.
+
+        The two fast paths compose: either may be disabled
+        independently and the observable output must not move.
+        """
+        outputs = {}
+        for sim_env, gen_env in itertools.product(("1", "0"), repeat=2):
+            monkeypatch.setenv(FASTPATH_ENV, sim_env)
+            monkeypatch.setenv(GEN_FASTPATH_ENV, gen_env)
+            collector = TraceCollector(capacity=100_000)
+            config = SimConfig(num_requests=10, seed=3, collector=collector)
+            result = ServerSimulator(make_workload("tpcc"), config).run()
+            outputs[(sim_env, gen_env)] = (
+                events_to_jsonl(collector.events, dropped=collector.dropped),
+                result.wall_cycles,
+                tuple(t.cycles.tobytes() for t in result.traces),
+            )
+        baseline = outputs[("1", "1")]
+        for corner, value in outputs.items():
+            assert value == baseline, f"env corner {corner} diverged"

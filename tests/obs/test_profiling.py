@@ -70,7 +70,11 @@ def test_simulator_reports_stage_time():
         run_small("webserver", num_requests=4, seed=3)
     assert profiler.count("simulate") == 1
     assert profiler.seconds("simulate") > 0.0
-    assert profiler.count("generate") == 1
+    # "generate" counts workload construction plus per-request synthesis
+    # (attributed out of the simulate stage), so one call per request on
+    # top of construction and any block-ahead fill.
+    assert profiler.count("generate") >= 1 + 4
+    assert profiler.seconds("generate") > 0.0
 
 
 def test_canonical_stage_names():
