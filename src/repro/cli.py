@@ -35,7 +35,6 @@ from repro.workloads.registry import (
     available_workloads,
     make_faulted_workload,
     make_workload,
-    parse_fault_spec,
 )
 
 
@@ -77,9 +76,13 @@ def parse_scheduler(text: str, threshold: float):
 
 
 def fault_spec(text: str) -> str:
-    """argparse type for ``--faults``: validate ``kind:rate``, keep the text."""
+    """argparse type for ``--faults``: validate the composable schedule
+    grammar, keep the text.  Malformed specs exit with a usage error
+    naming the offending clause or option token."""
+    from repro.faults.schedule import parse_fault_schedule
+
     try:
-        parse_fault_spec(text)
+        parse_fault_schedule(text)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
     return text
@@ -159,9 +162,11 @@ def build_parser() -> argparse.ArgumentParser:
         "matrix (default 1)",
     )
     parser.add_argument(
-        "--faults", type=fault_spec, default=None, metavar="KIND:RATE",
-        help="inject ground-truth faults into the workload, e.g. "
-        "lock_stall:0.2 (kinds: lock_stall, cache_thrash, slowdown)",
+        "--faults", type=fault_spec, default=None, metavar="SPEC",
+        help="inject ground-truth faults from a composable schedule, e.g. "
+        "lock_stall:0.2 or 'gc_pause:0.2+cache_thrash:0.1@0-40' (clauses "
+        "joined by +; options: @lo-hi window, %%kind=NAME / %%tenant=N "
+        "targets, *N bursts; see docs/faults.md)",
     )
     parser.add_argument(
         "--arrivals", default=None, metavar="SPEC",
@@ -193,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--online", action="store_true",
         help="attach the streaming online pipeline (prediction + anomaly "
         "detection) to the run and print its scored report",
+    )
+    parser.add_argument(
+        "--attribute", action="store_true",
+        help="with --online: classify the likely fault cause of each "
+        "flagged request and score attribution against injected ground "
+        "truth",
     )
     parser.add_argument(
         "--checkpoint", metavar="PATH",
@@ -275,14 +286,23 @@ def main(argv=None) -> int:
     pipeline = None
     if args.trace:
         collector = TraceCollector(capacity=args.trace_capacity)
+    if args.attribute and not args.online:
+        parser.error("--attribute requires --online")
     if args.online:
-        from repro.online.pipeline import SUBSCRIBED_KINDS, OnlinePipeline
+        from repro.online.pipeline import (
+            SUBSCRIBED_KINDS,
+            OnlineConfig,
+            OnlinePipeline,
+        )
 
         if collector is None:
             # Online-only runs stream just the kinds the pipeline reads,
             # retaining nothing (dispatch-only).
             collector = TraceCollector(capacity=0, kinds=SUBSCRIBED_KINDS)
-        pipeline = OnlinePipeline()
+        if args.attribute:
+            pipeline = OnlinePipeline(config=OnlineConfig(attribute=True))
+        else:
+            pipeline = OnlinePipeline()
         collector.subscribe(pipeline.process_event)
     with activated(profiler):
         workload = (

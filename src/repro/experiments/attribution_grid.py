@@ -1,0 +1,68 @@
+"""Experiment ``attribution``: cause attribution scored across the fault
+taxonomy.
+
+One grid axis per fault kind: every taxonomy kind is injected into the
+transactional workload at the same rate, the online pipeline runs with
+cause attribution enabled, and the sweep report's attribution table
+shows per-mix accuracy against the injected ground truth — the
+end-to-end number the streaming detector's attribution stage is judged
+by.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.experiments.base import ExperimentResult
+from repro.faults.taxonomy import FAULT_TAXONOMY
+from repro.sweep.cache import ScenarioCache
+from repro.sweep.executor import SweepOptions, run_sweep
+from repro.sweep.manifest import SweepManifest
+from repro.sweep.report import build_report
+from repro.sweep.spec import SweepSpec
+
+#: Injection rate shared by every fault axis value.
+RATE = 0.3
+
+
+def run(scale: float = 1.0, jobs: int = 1, cache_dir: Optional[str] = None):
+    requests = max(12, int(round(24 * scale)))
+    spec = SweepSpec(
+        name="experiment-attribution",
+        workloads=("tpcc",),
+        sampling=("interrupt:100",),
+        seeds=(3,),
+        faults=tuple(f"{kind}:{RATE:g}" for kind in FAULT_TAXONOMY),
+        requests=requests,
+        concurrency=4,
+        online=True,
+        train=10,
+        attribute=True,
+    )
+    cache = (
+        ScenarioCache(os.path.join(cache_dir, "scenarios.json"))
+        if cache_dir is not None
+        else None
+    )
+    manifest = SweepManifest.plan(spec)
+    run_sweep(manifest, options=SweepOptions(jobs=jobs, cache=cache))
+    report = build_report(manifest)
+    counts = manifest.counts()
+    scored = [row for row in report.attribution_rows if row["detected"] > 0]
+    return ExperimentResult(
+        exp_id="attribution",
+        title="Cause attribution accuracy across the fault taxonomy",
+        rows=report.attribution_rows,
+        panels={
+            "fault detection by workload x fault mix": report.detection_rows,
+        },
+        notes=[
+            f"{len(FAULT_TAXONOMY)} fault kinds injected at rate {RATE:g}; "
+            f"{counts['done']}/{counts['planned']} scenarios done, "
+            f"{len(scored)} mixes with attributable detections.",
+            "Attribution classifies each flagged request's counter "
+            "signature against per-window-index baselines; accuracy is "
+            "correct-cause / detected per mix (see docs/faults.md).",
+        ],
+    )

@@ -60,6 +60,7 @@ EXPERIMENTS = {
     "fig13": ("repro.experiments.fig13_cpi_scheduling", "Figure 13: request CPI under contention-easing scheduling"),
     "stream": ("repro.experiments.stream_detection", "Streaming detection: online pipeline vs injected faults"),
     "sweep": ("repro.experiments.sweep_grid", "Scenario sweep: cross-scenario overhead and detection grid"),
+    "attribution": ("repro.experiments.attribution_grid", "Cause attribution: accuracy across the fault taxonomy"),
     "loadsweep": ("repro.experiments.loadsweep", "Load sweep: throughput vs tail latency by dispatch policy"),
 }
 

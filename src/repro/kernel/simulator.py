@@ -342,6 +342,13 @@ class ServerSimulator:
         #: Ambient stage profiler, captured at run() so per-request
         #: generation time can be attributed out of the simulate stage.
         self._profiler = None
+        #: Fault-schedule hooks (duck-typed so plain workloads cost one
+        #: getattr at construction, nothing per admission): scheduled
+        #: fault wrappers queue activation-window transitions to drain
+        #: into the obs stream, and accept the arrival's tenant tag so
+        #: tenant-targeted clauses can see it before sampling.
+        self._fault_drain = getattr(workload, "drain_fault_events", None)
+        self._fault_note_tenant = getattr(workload, "note_tenant", None)
 
     # ------------------------------------------------------------------ API
 
@@ -583,6 +590,8 @@ class ServerSimulator:
 
     def _admit(self, tenant: Optional[int] = None) -> None:
         profiler = self._profiler
+        if self._fault_note_tenant is not None:
+            self._fault_note_tenant(tenant)
         if profiler is None:
             spec = self.workload.sample_request(self.rng, self._admitted)
         else:
@@ -590,6 +599,18 @@ class ServerSimulator:
             spec = self.workload.sample_request(self.rng, self._admitted)
             profiler.add("generate", time.perf_counter() - start)
         self._admitted += 1
+        if self._fault_drain is not None:
+            for transition in self._fault_drain():
+                if self.obs.enabled:
+                    self.obs.emit(
+                        transition["kind"],
+                        self.now,
+                        request_id=transition["request_id"],
+                        clause=transition["clause"],
+                        fault=transition["fault"],
+                        window_lo=transition["window_lo"],
+                        window_hi=transition["window_hi"],
+                    )
         if tenant is not None:
             spec.metadata["tenant"] = tenant
         self.tracker.start_request(spec, self.now)

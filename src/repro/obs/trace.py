@@ -50,6 +50,8 @@ EVENT_KINDS = (
     "request_completed",
     "traffic",
     "request_shed",
+    "fault_window_start",
+    "fault_window_end",
     "run_end",
 )
 

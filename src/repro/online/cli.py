@@ -30,19 +30,21 @@ from repro.online.pipeline import (
     train_identifier,
 )
 from repro.online.report import build_report
+from repro.faults.schedule import parse_fault_schedule
 from repro.workloads.registry import (
     SERVER_APPS,
     available_workloads,
     make_faulted_workload,
     make_workload,
-    parse_fault_spec,
 )
 
 
 def fault_spec(text: str) -> str:
-    """argparse type for ``--faults``: validate, keep the raw spec."""
+    """argparse type for ``--faults``: validate the schedule grammar,
+    keep the raw spec.  Malformed specs exit with a usage error naming
+    the offending clause or option token."""
     try:
-        parse_fault_spec(text)
+        parse_fault_schedule(text)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
     return text
@@ -82,9 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--concurrency", type=_positive_int, default=8)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
-        "--faults", type=fault_spec, default=None, metavar="KIND:RATE",
-        help="inject ground-truth faults, e.g. lock_stall:0.2 "
-        "(kinds: lock_stall, cache_thrash, slowdown; rate in [0,1])",
+        "--faults", type=fault_spec, default=None, metavar="SPEC",
+        help="inject ground-truth faults from a composable schedule, "
+        "e.g. lock_stall:0.2 or 'gc_pause:0.2+cache_thrash:0.1@0-40' "
+        "(clauses joined by +; options: @lo-hi window, %%kind=NAME / "
+        "%%tenant=N targets, *N bursts; see docs/faults.md)",
+    )
+    parser.add_argument(
+        "--attribute", action="store_true",
+        help="classify the likely fault cause of each flagged request "
+        "from its counter signature and score the attribution against "
+        "injected ground truth in the report",
     )
     parser.add_argument(
         "--train", type=_non_negative_int, default=24, metavar="N",
@@ -203,6 +213,7 @@ def _fresh_pipeline(args, registry) -> OnlinePipeline:
     config = OnlineConfig(
         window_instructions=float(args.window),
         anomaly_quantile=args.quantile,
+        attribute=args.attribute,
     )
     identifier = None
     if args.train > 0:

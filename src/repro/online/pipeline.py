@@ -95,6 +95,11 @@ class OnlineConfig:
     #: Subtract the minimum per-sample observer cost from period counters
     #: (matching the offline trace compensation).
     compensate: bool = True
+    #: Run the :class:`~repro.online.attribution.CauseAttributor` on
+    #: flagged requests (opt-in: records, reports, and checkpoints gain
+    #: attribution fields only when enabled, so every pre-attribution
+    #: byte surface is unchanged at the default).
+    attribute: bool = False
 
     def __post_init__(self):
         if self.window_instructions <= 0:
@@ -133,6 +138,7 @@ class _OpenRequest:
         "flagged",
         "flag_windows",
         "flag_score",
+        "feature_windows",
     )
 
     def __init__(self, request_id: int, kind: str, injected_fault, admitted_cycle,
@@ -159,9 +165,13 @@ class _OpenRequest:
         self.flagged = False
         self.flag_windows: Optional[int] = None
         self.flag_score: Optional[float] = None
+        # Per-window (cpi, refs_per_ins, miss_ratio) features, tracked
+        # only when attribution is enabled (None otherwise, and then
+        # absent from checkpoint state — the legacy byte surface).
+        self.feature_windows: Optional[List[List[float]]] = None
 
     def to_state(self) -> dict:
-        return {
+        state = {
             "request_id": self.request_id,
             "kind": self.kind,
             "injected_fault": self.injected_fault,
@@ -184,6 +194,9 @@ class _OpenRequest:
             "flag_windows": self.flag_windows,
             "flag_score": self.flag_score,
         }
+        if self.feature_windows is not None:
+            state["feature_windows"] = [list(w) for w in self.feature_windows]
+        return state
 
     @classmethod
     def from_state(cls, state: dict) -> "_OpenRequest":
@@ -211,6 +224,11 @@ class _OpenRequest:
         request.flagged = bool(state["flagged"])
         request.flag_windows = state["flag_windows"]
         request.flag_score = state["flag_score"]
+        if "feature_windows" in state:
+            request.feature_windows = [
+                [float(v) for v in window]
+                for window in state["feature_windows"]
+            ]
         return request
 
 
@@ -261,6 +279,12 @@ class OnlinePipeline:
         self.identifier = identifier
         self.registry = registry
         self.cost_model = cost_model or SamplingCostModel()
+        if self.config.attribute:
+            from repro.online.attribution import CauseAttributor
+
+            self.attributor: Optional[CauseAttributor] = CauseAttributor()
+        else:
+            self.attributor = None
         self.centroids = GroupCentroids(self.config.centroid_max_windows)
         self.quantiles: Dict[str, OnlineQuantile] = {}
         self.class_errors: Dict[str, _ClassErrors] = {}
@@ -512,6 +536,27 @@ class OnlinePipeline:
         # scored against the pre-existing population.
         centroid.observe(window_index, value)
 
+        # Cause attribution (opt-in): track per-window signature features
+        # and fold unflagged windows into the kind's baseline.  A window
+        # that just triggered the flag is already excluded — baselines
+        # learn from traffic still believed healthy.
+        attributor = self.attributor
+        if attributor is not None:
+            instructions = window[0]
+            l2_refs = window[2]
+            cpi = window[1] / instructions if instructions > 0 else 0.0
+            refs_per_ins = window[2] / instructions if instructions > 0 else 0.0
+            miss_ratio = window[3] / l2_refs if l2_refs > 0 else 0.0
+            features = request.feature_windows
+            if features is None:
+                features = request.feature_windows = []
+            if len(features) < config.max_windows:
+                features.append([cpi, refs_per_ins, miss_ratio])
+            if not request.flagged:
+                attributor.observe_window(
+                    request.kind, window_index, cpi, refs_per_ins, miss_ratio
+                )
+
     def _on_completed(self, event) -> None:
         request = self.open.pop(event.request_id, None)
         if request is None:
@@ -547,6 +592,14 @@ class OnlinePipeline:
             "flag_score": request.flag_score,
             "latency_cycles": event.cycle - request.admitted_cycle,
         }
+        if self.attributor is not None:
+            record["attributed_cause"] = (
+                self.attributor.classify(
+                    request.kind, request.feature_windows or ()
+                )
+                if request.flagged
+                else None
+            )
         self.records.append(record)
         if self.registry is not None:
             self._c_completed.inc()
@@ -555,7 +608,7 @@ class OnlinePipeline:
 
     def to_state(self) -> dict:
         """Full pipeline state as a JSON-ready dict (see checkpoint docs)."""
-        return {
+        state = {
             "config": asdict(self.config),
             "identifier": (
                 self.identifier.to_state() if self.identifier is not None else None
@@ -581,6 +634,9 @@ class OnlinePipeline:
             "workload_name": self.workload_name,
             "seed": self.seed,
         }
+        if self.attributor is not None:
+            state["attributor"] = self.attributor.to_state()
+        return state
 
     @classmethod
     def from_state(cls, state: dict, registry=None) -> "OnlinePipeline":
@@ -611,6 +667,12 @@ class OnlinePipeline:
         pipeline.windows_seen = int(state["windows_seen"])
         pipeline.workload_name = state["workload_name"]
         pipeline.seed = state["seed"]
+        if pipeline.attributor is not None and "attributor" in state:
+            from repro.online.attribution import CauseAttributor
+
+            pipeline.attributor = CauseAttributor.from_state(
+                state["attributor"]
+            )
         return pipeline
 
 

@@ -38,6 +38,9 @@ class DetectionReport:
     summary: Dict = field(default_factory=dict)
     per_class: List[Dict] = field(default_factory=list)
     requests: List[Dict] = field(default_factory=list)
+    #: Cause-attribution scoring; present only when the pipeline ran with
+    #: attribution enabled (keeps pre-attribution report bytes unchanged).
+    attribution: Optional[Dict] = None
 
     def to_json(self) -> str:
         """Canonical serialization (byte-identity comparison surface)."""
@@ -48,6 +51,8 @@ class DetectionReport:
             "per_class": self.per_class,
             "requests": self.requests,
         }
+        if self.attribution is not None:
+            payload["attribution"] = self.attribution
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def render(self) -> str:
@@ -81,6 +86,29 @@ class DetectionReport:
                     title="per-class prediction error",
                 )
             )
+        if self.attribution is not None:
+            a = self.attribution
+            lines.append("")
+            lines.append(
+                f"  attribute: detected={a['detected']}  "
+                f"correct={a['correct']}  accuracy={_fmt(a['accuracy'])}  "
+                f"false_attributions={a['false_attributions']}"
+            )
+            if a["per_kind"]:
+                lines.append(
+                    format_table(
+                        a["per_kind"],
+                        columns=[
+                            "kind",
+                            "injected",
+                            "detected",
+                            "correct",
+                            "recall",
+                            "precision",
+                        ],
+                        title="per-kind cause attribution",
+                    )
+                )
         return "\n".join(lines)
 
 
@@ -158,6 +186,15 @@ def build_report(pipeline) -> DetectionReport:
         "periods": pipeline.periods_seen,
         "windows": pipeline.windows_seen,
     }
+    attribution = None
+    if getattr(pipeline, "attributor", None) is not None:
+        from repro.online.attribution import score_attribution
+
+        attribution = score_attribution(records)
+
     return DetectionReport(
-        summary=summary, per_class=per_class, requests=list(records)
+        summary=summary,
+        per_class=per_class,
+        requests=list(records),
+        attribution=attribution,
     )

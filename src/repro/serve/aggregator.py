@@ -71,6 +71,7 @@ class FleetReport:
     per_instance: List[Dict] = field(default_factory=list)
     per_class: List[Dict] = field(default_factory=list)
     requests: List[Dict] = field(default_factory=list)
+    attribution: Optional[Dict] = None
 
     def to_json(self) -> str:
         """Canonical serialization (the byte-identity surface)."""
@@ -83,6 +84,10 @@ class FleetReport:
             "per_class": self.per_class,
             "requests": self.requests,
         }
+        # Cause-attribution scoring appears only when workers ran with
+        # --attribute, keeping detection-only fleet reports byte-stable.
+        if self.attribution is not None:
+            payload["attribution"] = self.attribution
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
     def render(self) -> str:
@@ -131,6 +136,26 @@ class FleetReport:
                     title="per-class prediction error",
                 )
             )
+        if self.attribution is not None:
+            a = self.attribution
+            accuracy = (
+                f"{a['accuracy']:.3f}" if a["accuracy"] is not None else "n/a"
+            )
+            lines.append("")
+            lines.append(
+                f"  attribute: detected={a['detected']}  "
+                f"correct={a['correct']}  accuracy={accuracy}  "
+                f"false_attributions={a['false_attributions']}"
+            )
+            if a["per_kind"]:
+                lines.append(
+                    format_table(
+                        a["per_kind"],
+                        columns=["kind", "injected", "detected", "correct",
+                                 "recall", "precision"],
+                        title="per-kind cause attribution",
+                    )
+                )
         return "\n".join(lines)
 
 
@@ -295,6 +320,12 @@ def merge_worker_reports(documents: List[dict]) -> FleetReport:
         "periods": periods,
         "windows": windows,
     }
+    attribution = None
+    if any("attributed_cause" in record for record in requests):
+        from repro.online.attribution import score_attribution
+
+        attribution = score_attribution(requests)
+
     return FleetReport(
         summary=summary,
         per_worker=per_worker,
@@ -303,4 +334,5 @@ def merge_worker_reports(documents: List[dict]) -> FleetReport:
         ],
         per_class=per_class,
         requests=requests,
+        attribution=attribution,
     )

@@ -59,6 +59,16 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+def _fault_spec(text: str) -> str:
+    from repro.faults.schedule import parse_fault_schedule
+
+    try:
+        parse_fault_schedule(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return text
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -79,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--quantile", type=float, default=0.9)
     serve.add_argument("--decisions", action="store_true",
                        help="write per-instance decision logs (JSONL)")
+    serve.add_argument("--attribute", action="store_true",
+                       help="classify likely fault causes of flagged "
+                       "requests in every worker pipeline")
 
     load = modes.add_parser(
         "load-test", help="self-contained fleet load test"
@@ -91,7 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="requests per instance (default 20)")
     load.add_argument("--concurrency", type=_positive_int, default=8)
     load.add_argument("--seed", type=int, default=0)
-    load.add_argument("--faults", default=None, metavar="KIND:RATE")
+    load.add_argument("--faults", type=_fault_spec, default=None,
+                      metavar="SPEC",
+                      help="composable fault schedule per instance, e.g. "
+                      "lock_stall:0.2 or 'gc_pause:0.2+cache_thrash:0.1"
+                      "@0-40' (see docs/faults.md)")
     load.add_argument("--arrivals", default=None, metavar="SPEC",
                       help="arrival process per instance "
                       "(poisson:<rps>, onoff:..., zipf:...)")
@@ -119,6 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--decisions", action="store_true",
                       help="write per-instance decision logs under the "
                       "run dir")
+    load.add_argument("--attribute", action="store_true",
+                      help="classify likely fault causes of flagged "
+                      "requests and score them fleet-wide against "
+                      "injected ground truth")
     load.add_argument("--report", default=None, metavar="PATH",
                       help="write the canonical fleet report JSON here")
     load.add_argument("--save-worker-reports", action="store_true",
@@ -158,6 +179,7 @@ def _mode_serve(args) -> int:
         window_instructions=args.window,
         anomaly_quantile=args.quantile,
         decisions=args.decisions,
+        attribute=args.attribute,
     )
 
     async def _serve() -> None:
@@ -209,6 +231,7 @@ def _mode_load_test(args, parser) -> int:
         window_instructions=args.window,
         anomaly_quantile=args.quantile,
         decisions=args.decisions,
+        attribute=args.attribute,
         kill=(
             KillSpec(shard=shard_name(args.kill_worker))
             if args.kill_worker is not None

@@ -57,6 +57,7 @@ class PoolConfig:
     window_instructions: float = 100_000.0
     anomaly_quantile: float = 0.9
     decisions: bool = False
+    attribute: bool = False
 
     def __post_init__(self):
         if self.workers < 1:
@@ -110,6 +111,8 @@ class WorkerPool:
             command += ["--bank", config.bank_path]
         if config.decisions:
             command += ["--decisions-dir", config.decisions_dir(shard)]
+        if config.attribute:
+            command += ["--attribute"]
         env = dict(os.environ)
         # The pool must work from a source checkout: make sure the child
         # resolves the same `repro` package this process imported.
@@ -257,6 +260,7 @@ class LoadTestOptions:
     window_instructions: float = 100_000.0
     anomaly_quantile: float = 0.9
     decisions: bool = False
+    attribute: bool = False
     kill: Optional[KillSpec] = None
 
     def __post_init__(self):
@@ -301,6 +305,7 @@ async def run_load_test(
         window_instructions=options.window_instructions,
         anomaly_quantile=options.anomaly_quantile,
         decisions=options.decisions,
+        attribute=options.attribute,
     )
     os.makedirs(run_dir, exist_ok=True)
     if options.train > 0:

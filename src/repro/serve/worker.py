@@ -103,6 +103,9 @@ class WorkerConfig:
     credit: int = 8
     window_instructions: float = 100_000.0
     anomaly_quantile: float = 0.9
+    #: Classify likely fault causes of flagged requests (adds the
+    #: attribution fields to decision records; off keeps legacy bytes).
+    attribute: bool = False
 
     def __post_init__(self):
         if self.checkpoint_every < 1:
@@ -211,6 +214,7 @@ class ShardWorker:
             config = OnlineConfig(
                 window_instructions=self.config.window_instructions,
                 anomaly_quantile=self.config.anomaly_quantile,
+                attribute=self.config.attribute,
             )
             state = _InstanceState(
                 OnlinePipeline(config=config, identifier=self.identifier)
@@ -428,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--credit", type=int, default=8)
     parser.add_argument("--window", type=float, default=100_000.0)
     parser.add_argument("--quantile", type=float, default=0.9)
+    parser.add_argument("--attribute", action="store_true")
     return parser
 
 
@@ -451,6 +456,7 @@ def main(argv=None) -> int:
         credit=args.credit,
         window_instructions=args.window,
         anomaly_quantile=args.quantile,
+        attribute=args.attribute,
     )
     asyncio.run(_run(config))
     return 0

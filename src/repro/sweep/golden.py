@@ -1,11 +1,14 @@
-"""Golden conformance corpus: one pinned scenario per workload.
+"""Golden conformance corpus: pinned scenarios per workload and fault mix.
 
 The corpus under ``tests/golden/`` freezes the full canonical result
 document of one small scenario per server application — simulation
-summary, metrics snapshot, and online detection report.  Any change to
-simulator arithmetic, metric registration, or report serialization shows
-up as a byte diff against these files, which is the point: behavioral
-drift must be *deliberate*.  After an intentional change, regenerate with
+summary, metrics snapshot, and online detection report — plus one
+attribution scenario per pinned fault mix (``attr_*.json``), which
+additionally freezes the cause-attribution scoring section.  Any change
+to simulator arithmetic, metric registration, attribution thresholds, or
+report serialization shows up as a byte diff against these files, which
+is the point: behavioral drift must be *deliberate*.  After an
+intentional change, regenerate with
 
     python -m repro.sweep --regen-golden
 
@@ -22,7 +25,10 @@ from repro.sweep.spec import Scenario
 from repro.workloads.registry import SERVER_APPS
 
 __all__ = [
+    "ATTRIBUTION_GOLDEN_MIXES",
     "GOLDEN_DIR",
+    "attribution_golden_path",
+    "attribution_golden_scenario",
     "golden_path",
     "golden_scenario",
     "regenerate_golden",
@@ -60,6 +66,43 @@ def golden_path(workload: str, directory: str = GOLDEN_DIR) -> str:
     return os.path.join(directory, f"sweep_{workload}.json")
 
 
+#: Pinned attribution fault mixes (corpus name -> --faults spec).  One
+#: per taxonomy kind plus a composed schedule exercising concurrent
+#: clauses, a time window, and a correlated burst.
+ATTRIBUTION_GOLDEN_MIXES = {
+    "lock_stall": "lock_stall:0.35",
+    "lock_convoy": "lock_convoy:0.35",
+    "cache_thrash": "cache_thrash:0.35",
+    "membw_saturation": "membw_saturation:0.35",
+    "gc_pause": "gc_pause:0.35",
+    "slowdown": "slowdown:0.35",
+    "slow_replica": "slow_replica:0.35",
+    "gray_degradation": "gray_degradation:0.35",
+    "mix": "gc_pause:0.25+cache_thrash:0.2@0-12+membw_saturation:0.15*2",
+}
+
+
+def attribution_golden_scenario(name: str) -> Scenario:
+    """The pinned attribution scenario for one fault mix (tpcc, seed 7)."""
+    return Scenario(
+        workload="tpcc",
+        sampling="interrupt:100",
+        seed=7,
+        faults=ATTRIBUTION_GOLDEN_MIXES[name],
+        placement="single",
+        requests=24,
+        concurrency=4,
+        cores=4,
+        online=True,
+        train=10,
+        attribute=True,
+    )
+
+
+def attribution_golden_path(name: str, directory: str = GOLDEN_DIR) -> str:
+    return os.path.join(directory, f"attr_{name}.json")
+
+
 def regenerate_golden(directory: str = GOLDEN_DIR) -> List[str]:
     """Run every pinned scenario and rewrite the corpus; returns the paths."""
     os.makedirs(directory, exist_ok=True)
@@ -67,6 +110,12 @@ def regenerate_golden(directory: str = GOLDEN_DIR) -> List[str]:
     for workload in SERVER_APPS:
         document: Dict = run_scenario(golden_scenario(workload))
         path = golden_path(workload, directory)
+        with open(path, "w") as fh:
+            fh.write(result_to_json(document) + "\n")
+        paths.append(path)
+    for name in ATTRIBUTION_GOLDEN_MIXES:
+        document = run_scenario(attribution_golden_scenario(name))
+        path = attribution_golden_path(name, directory)
         with open(path, "w") as fh:
             fh.write(result_to_json(document) + "\n")
         paths.append(path)

@@ -40,6 +40,7 @@ class SweepReport:
     scenario_rows: List[Dict] = field(default_factory=list)
     overhead_rows: List[Dict] = field(default_factory=list)
     detection_rows: List[Dict] = field(default_factory=list)
+    attribution_rows: List[Dict] = field(default_factory=list)
 
     def to_json(self) -> str:
         """Canonical serialization (the byte-identity comparison surface)."""
@@ -51,6 +52,10 @@ class SweepReport:
             "overhead": self.overhead_rows,
             "detection": self.detection_rows,
         }
+        # The attribution table appears only when some scenario scored
+        # cause attribution, keeping detection-only report bytes pinned.
+        if self.attribution_rows:
+            payload["attribution"] = self.attribution_rows
         return canonical_json(payload) + "\n"
 
     def render(self) -> str:
@@ -80,6 +85,14 @@ class SweepReport:
                     title="-- fault detection by workload x fault mix --",
                 )
             )
+        if self.attribution_rows:
+            lines.append("")
+            lines.append(
+                format_table(
+                    self.attribution_rows,
+                    title="-- cause attribution by workload x fault mix --",
+                )
+            )
         return "\n".join(lines)
 
 
@@ -98,6 +111,7 @@ def build_report(manifest: SweepManifest) -> SweepReport:
     scenario_rows: List[Dict] = []
     overhead_groups: Dict[tuple, List[Dict]] = {}
     detection_groups: Dict[tuple, List[Dict]] = {}
+    attribution_groups: Dict[tuple, List[Dict]] = {}
     for sid in manifest.order:
         entry = manifest.scenarios[sid]
         row = {"scenario": sid, "status": entry["status"]}
@@ -123,6 +137,10 @@ def build_report(manifest: SweepManifest) -> SweepReport:
             detection_groups.setdefault(
                 (scenario["workload"], scenario["faults"]), []
             ).append(online["summary"])
+            if online.get("attribution") is not None:
+                attribution_groups.setdefault(
+                    (scenario["workload"], scenario["faults"]), []
+                ).append(online["attribution"])
 
     overhead_rows = []
     for (workload, sampling) in sorted(overhead_groups):
@@ -162,9 +180,29 @@ def build_report(manifest: SweepManifest) -> SweepReport:
             }
         )
 
+    attribution_rows = []
+    for (workload, faults) in sorted(attribution_groups):
+        scores = attribution_groups[(workload, faults)]
+        detected = sum(s["detected"] for s in scores)
+        correct = sum(s["correct"] for s in scores)
+        attribution_rows.append(
+            {
+                "workload": workload,
+                "faults": faults,
+                "scenarios": len(scores),
+                "detected": detected,
+                "correct": correct,
+                "accuracy": round(correct / detected, 4) if detected else None,
+                "false_attributions": sum(
+                    s["false_attributions"] for s in scores
+                ),
+            }
+        )
+
     return SweepReport(
         summary=summary,
         scenario_rows=scenario_rows,
         overhead_rows=overhead_rows,
         detection_rows=detection_rows,
+        attribution_rows=attribution_rows,
     )

@@ -26,6 +26,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceCollector
 from repro.online.pipeline import (
     SUBSCRIBED_KINDS,
+    OnlineConfig,
     OnlinePipeline,
     train_identifier,
 )
@@ -108,6 +109,10 @@ def _build_pipeline(scenario: Scenario) -> OnlinePipeline:
             num_requests=scenario.train,
             seed=scenario.seed + TRAIN_SEED_OFFSET,
         )
+    if scenario.attribute:
+        return OnlinePipeline(
+            identifier=identifier, config=OnlineConfig(attribute=True)
+        )
     return OnlinePipeline(identifier=identifier)
 
 
@@ -152,6 +157,10 @@ def run_scenario(scenario: Scenario) -> Dict:
             "per_class": report.per_class,
             "requests": report.requests,
         }
+        # Attribution scoring appears only when the axis is enabled so
+        # detection-only result documents keep their pinned bytes.
+        if report.attribution is not None:
+            online["attribution"] = report.attribution
     document = {
         "format": RESULT_FORMAT,
         "version": RESULT_VERSION,

@@ -21,10 +21,7 @@ import json
 from dataclasses import dataclass, fields
 from typing import Dict, List, Optional, Tuple
 
-from repro.workloads.registry import (
-    available_workloads,
-    parse_fault_spec,
-)
+from repro.workloads.registry import available_workloads
 
 __all__ = [
     "AXES",
@@ -120,7 +117,9 @@ def _validate_sampling(text: str) -> None:
 
 def _validate_faults(text: str) -> None:
     if text != NO_FAULTS:
-        parse_fault_spec(text)
+        from repro.faults.schedule import parse_fault_schedule
+
+        parse_fault_schedule(text)
 
 
 def _validate_arrivals(text: str) -> None:
@@ -156,8 +155,14 @@ class Scenario:
     cores: int = 4
     online: bool = False
     train: int = 0
+    attribute: bool = False
 
     def __post_init__(self):
+        if self.attribute and not self.online:
+            raise ValueError(
+                "attribute=True needs online=True (cause attribution runs "
+                "inside the online pipeline)"
+            )
         if self.workload not in available_workloads():
             raise ValueError(
                 f"unknown workload {self.workload!r}; "
@@ -202,6 +207,8 @@ class Scenario:
         ]
         if not self._default_traffic:
             parts.extend((self.arrivals, self.dispatch))
+        if self.attribute:
+            parts.append("attr")
         return "~".join(parts)
 
     @property
@@ -227,6 +234,10 @@ class Scenario:
             del payload["arrivals"]
         if self.dispatch == DEFAULT_DISPATCH:
             del payload["dispatch"]
+        # Attribution, like the traffic axes, appears only when enabled
+        # so pre-attribution content keys and goldens keep their bytes.
+        if not self.attribute:
+            del payload["attribute"]
         return payload
 
     @classmethod
@@ -283,6 +294,7 @@ class SweepSpec:
     cores: int = 4
     online: bool = False
     train: int = 0
+    attribute: bool = False
     include: tuple = ()
     exclude: tuple = ()
 
@@ -347,6 +359,7 @@ class SweepSpec:
                     cores=self.cores,
                     online=self.online,
                     train=self.train,
+                    attribute=self.attribute,
                 )
             )
         if not scenarios:
@@ -383,6 +396,8 @@ class SweepSpec:
             payload["arrivals"] = list(self.arrivals)
         if self.dispatch != (DEFAULT_DISPATCH,):
             payload["dispatch"] = list(self.dispatch)
+        if self.attribute:
+            payload["attribute"] = True
         return payload
 
     @classmethod

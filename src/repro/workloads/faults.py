@@ -8,19 +8,34 @@ instructions, as hypothesized for the TPCH case in Section 4.3), a cache
 thrash burst (a span with degraded locality), or a slowdown (elevated CPI
 across the whole request).  Injected request ids are recorded so tests can
 score detector recall and precision.
+
+This is the original single-kind wrapper, kept as the reference for the
+legacy ``kind:rate`` spec syntax; the composable taxonomy and schedule
+engine that superseded it live in :mod:`repro.faults`, and both share
+the per-kind injectors in :mod:`repro.faults.taxonomy` — the schedule
+engine must stay byte-identical to this class for legacy specs, the
+property pinned by ``tests/workloads/test_fault_schedules.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set
+from typing import Set
 
 import numpy as np
 
-from repro.hardware.cpu import PhaseBehavior
-from repro.workloads.base import Phase, RequestSpec, Stage
+from repro.faults.taxonomy import (
+    LEGACY_FAULT_KINDS,
+    fault_position,
+    inject_cache_thrash,
+    inject_lock_stall,
+    inject_slowdown,
+)
+from repro.workloads.base import RequestSpec
 
-FAULT_KINDS = ("lock_stall", "cache_thrash", "slowdown")
+#: The legacy three-kind taxonomy (the full one is
+#: :data:`repro.faults.taxonomy.FAULT_TAXONOMY`).
+FAULT_KINDS = LEGACY_FAULT_KINDS
 
 
 @dataclass
@@ -66,101 +81,24 @@ class FaultInjectingWorkload:
             return spec
         self.injected_ids.add(request_id)
         if self.fault_kind == "lock_stall":
-            return self._inject_lock_stall(spec, rng)
+            return inject_lock_stall(
+                spec,
+                rng,
+                span_fraction=self.fault_span_fraction,
+                position=self._fault_position(spec, rng),
+            )
         if self.fault_kind == "cache_thrash":
-            return self._inject_cache_thrash(spec, rng)
-        return self._inject_slowdown(spec)
-
-    # -- fault constructors -------------------------------------------------
+            return inject_cache_thrash(
+                spec,
+                rng,
+                span_fraction=self.fault_span_fraction,
+                position=self._fault_position(spec, rng),
+            )
+        return inject_slowdown(spec, rng, factor=self.slowdown_factor)
 
     def _fault_position(self, spec: RequestSpec, rng) -> float:
         """Instruction offset at which the fault strikes (middle-ish)."""
-        return float(rng.uniform(0.25, 0.75)) * spec.total_instructions
-
-    def _inject_span(self, spec: RequestSpec, rng, span_phase: Phase) -> RequestSpec:
-        position = self._fault_position(spec, rng)
-        consumed = 0
-        new_stages: List[Stage] = []
-        inserted = False
-        for stage in spec.stages:
-            phases: List[Phase] = []
-            for p in stage.phases:
-                phases.append(p)
-                consumed += p.instructions
-                if not inserted and consumed >= position:
-                    phases.append(span_phase)
-                    inserted = True
-            new_stages.append(Stage(tier=stage.tier, phases=tuple(phases)))
-        return RequestSpec(
-            request_id=spec.request_id,
-            app=spec.app,
-            kind=spec.kind,
-            stages=tuple(new_stages),
-            metadata={**spec.metadata, "injected_fault": self.fault_kind},
-        )
-
-    def _inject_lock_stall(self, spec: RequestSpec, rng) -> RequestSpec:
-        """Spinning on a contended lock: extra instructions, poor IPC,
-        almost no data footprint — the Section 4.3 software-contention
-        hypothesis (more instructions *and* more references)."""
-        span = Phase(
-            name="fault_lock_stall",
-            instructions=max(
-                5_000, int(self.fault_span_fraction * spec.total_instructions)
-            ),
-            behavior=PhaseBehavior(
-                base_cpi=4.2,  # dependent spin loop, serialized by the lock
-                l2_refs_per_ins=0.008,
-                l2_miss_ratio=0.6,  # the lock line bounces between cores
-                cache_footprint=0.05,
-            ),
-        )
-        return self._inject_span(spec, rng, span)
-
-    def _inject_cache_thrash(self, spec: RequestSpec, rng) -> RequestSpec:
-        """A span with pathological locality (e.g. a degenerate hash)."""
-        span = Phase(
-            name="fault_cache_thrash",
-            instructions=max(
-                5_000, int(self.fault_span_fraction * spec.total_instructions)
-            ),
-            behavior=PhaseBehavior(
-                base_cpi=1.2,
-                l2_refs_per_ins=0.05,
-                l2_miss_ratio=0.85,
-                cache_footprint=1.0,
-            ),
-        )
-        return self._inject_span(spec, rng, span)
-
-    def _inject_slowdown(self, spec: RequestSpec) -> RequestSpec:
-        """Uniformly elevated CPI (e.g. debug logging left enabled)."""
-        new_stages = []
-        for stage in spec.stages:
-            phases = tuple(
-                Phase(
-                    name=p.name,
-                    instructions=p.instructions,
-                    behavior=PhaseBehavior(
-                        base_cpi=p.behavior.base_cpi * self.slowdown_factor,
-                        l2_refs_per_ins=p.behavior.l2_refs_per_ins,
-                        l2_miss_ratio=p.behavior.l2_miss_ratio,
-                        cache_footprint=p.behavior.cache_footprint,
-                    ),
-                    entry_syscall=p.entry_syscall,
-                    syscall_rate_per_ins=p.syscall_rate_per_ins,
-                    syscall_pool=p.syscall_pool,
-                )
-                for p in stage.phases
-            )
-            new_stages.append(Stage(tier=stage.tier, phases=phases))
-        return RequestSpec(
-            request_id=spec.request_id,
-            app=spec.app,
-            kind=spec.kind,
-            stages=tuple(new_stages),
-            metadata={**spec.metadata, "injected_fault": self.fault_kind},
-        )
+        return fault_position(rng, spec.total_instructions)
 
 
 def score_detection(flagged_ids, injected_ids, population: int) -> dict:

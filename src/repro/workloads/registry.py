@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from repro.faults.schedule import ScheduledFaultWorkload, parse_fault_schedule
+from repro.faults.taxonomy import FAULT_TAXONOMY
 from repro.obs.profiling import profiled_stage
-from repro.workloads.faults import FAULT_KINDS, FaultInjectingWorkload
 from repro.workloads.genfast import FAST_FACTORIES, gen_fastpath_enabled
 from repro.workloads.microbench import MbenchData, MbenchSpin
 from repro.workloads.rubis import RubisWorkload
@@ -50,19 +51,21 @@ def make_workload(name: str):
 
 
 def parse_fault_spec(text: str) -> Tuple[str, float]:
-    """Parse a ``kind:rate`` fault spec (e.g. ``lock_stall:0.2``).
+    """Parse a single plain ``kind:rate`` fault spec (e.g. ``lock_stall:0.2``).
 
-    The CLI's ``--faults`` flag routes through this, so malformed specs
-    fail with a message naming the valid kinds and the rate domain.
+    Kept for the simple single-clause callers; the full composable
+    grammar (multiple ``+``-joined clauses, activation windows, targets,
+    bursts) is :func:`repro.faults.schedule.parse_fault_schedule`, which
+    the ``--faults`` CLI flags route through.
     """
     kind, sep, rate_text = text.partition(":")
     if not sep:
         raise ValueError(
             f"fault spec {text!r} must be kind:rate (e.g. lock_stall:0.2)"
         )
-    if kind not in FAULT_KINDS:
+    if kind not in FAULT_TAXONOMY:
         raise ValueError(
-            f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}"
+            f"unknown fault kind {kind!r}; choose from {FAULT_TAXONOMY}"
         )
     try:
         rate = float(rate_text)
@@ -73,12 +76,15 @@ def parse_fault_spec(text: str) -> Tuple[str, float]:
     return kind, rate
 
 
-def make_faulted_workload(name: str, fault_spec: str) -> FaultInjectingWorkload:
-    """Instantiate a workload with ground-truth fault injection."""
-    kind, rate = parse_fault_spec(fault_spec)
-    return FaultInjectingWorkload(
-        inner=make_workload(name), fault_probability=rate, fault_kind=kind
-    )
+def make_faulted_workload(name: str, fault_spec: str) -> ScheduledFaultWorkload:
+    """Instantiate a workload with ground-truth fault injection.
+
+    ``fault_spec`` is the composable schedule grammar; the legacy
+    ``kind:rate`` syntax is a single-clause schedule and produces a
+    byte-identical request stream to the original single-kind wrapper.
+    """
+    schedule = parse_fault_schedule(fault_spec)
+    return ScheduledFaultWorkload(inner=make_workload(name), schedule=schedule)
 
 
 class FixedKindWorkload:

@@ -27,7 +27,7 @@ class TestStructure:
         expected = {
             "fig1", "fig2", "table1", "fig3", "fig4", "fig5", "table2",
             "sec32", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "stream", "sweep", "loadsweep",
+            "fig12", "fig13", "stream", "attribution", "sweep", "loadsweep",
         }
         assert set(EXPERIMENTS) == expected
 

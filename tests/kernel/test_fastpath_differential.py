@@ -50,7 +50,11 @@ from repro.workloads.genfast import (
     FastTpccWorkload,
     gen_fastpath_enabled,
 )
-from repro.workloads.registry import available_workloads, make_workload
+from repro.workloads.registry import (
+    available_workloads,
+    make_faulted_workload,
+    make_workload,
+)
 from repro.workloads.tpcc import TpccWorkload
 
 TRACE_FIELDS = (
@@ -77,7 +81,7 @@ SAMPLING_POLICIES = {
 }
 
 
-def _run(sim_cls, workload_name, config_factory, **config_kwargs):
+def _run(sim_cls, workload_name, config_factory, faults=None, **config_kwargs):
     collector = TraceCollector(capacity=500_000)
     config_kwargs.setdefault("num_requests", 20)
     config_kwargs.setdefault("seed", 7)
@@ -86,7 +90,12 @@ def _run(sim_cls, workload_name, config_factory, **config_kwargs):
         # reference run never sees state the fastpath run accumulated.
         config_kwargs.update(config_factory())
     config = SimConfig(collector=collector, **config_kwargs)
-    result = sim_cls(make_workload(workload_name), config).run()
+    workload = (
+        make_faulted_workload(workload_name, faults)
+        if faults
+        else make_workload(workload_name)
+    )
+    result = sim_cls(workload, config).run()
     return result, collector
 
 
@@ -102,12 +111,15 @@ def _latency_fingerprint(store):
     return records, store.shed, json.dumps(store.summary(), sort_keys=True)
 
 
-def assert_identical(workload_name, config_factory=None, **config_kwargs):
+def assert_identical(workload_name, config_factory=None, faults=None,
+                     **config_kwargs):
     fast, fast_col = _run(
-        FastpathSimulator, workload_name, config_factory, **config_kwargs
+        FastpathSimulator, workload_name, config_factory, faults=faults,
+        **config_kwargs
     )
     ref, ref_col = _run(
-        ReferenceSimulator, workload_name, config_factory, **config_kwargs
+        ReferenceSimulator, workload_name, config_factory, faults=faults,
+        **config_kwargs
     )
 
     fast_jsonl = events_to_jsonl(fast_col.events, dropped=fast_col.dropped)
@@ -171,6 +183,39 @@ class TestWorkloadSamplingGrid:
     )
     def test_byte_identical(self, workload, policy, gen_mode):
         assert_identical(workload, sampling=SAMPLING_POLICIES[policy])
+
+
+#: One spec per taxonomy kind plus a composed schedule (concurrent
+#: clauses, an activation window, a correlated burst) — the fault layer
+#: rewrites request specs before simulation, so every kind must survive
+#: both simulator implementations and both generation routings.
+FAULT_SPECS = (
+    "lock_stall:0.4",
+    "lock_convoy:0.4",
+    "cache_thrash:0.35",
+    "membw_saturation:0.35",
+    "gc_pause:0.3",
+    "slowdown:0.4",
+    "slow_replica:0.4",
+    "gray_degradation:0.5",
+    "cache_thrash:0.3+gc_pause:0.2@0-10*2",
+)
+
+
+class TestFaultedWorkloadGrid:
+    """Every fault kind (and a composed schedule) x both simulator
+    implementations x both generation routings: byte-identical."""
+
+    @pytest.mark.parametrize("faults", FAULT_SPECS, ids=lambda s: s)
+    def test_byte_identical(self, faults, gen_mode):
+        fast, ref = assert_identical(
+            "tpcc", faults=faults, sampling=SAMPLING_POLICIES["interrupt"]
+        )
+        # The schedule must actually have injected something.
+        assert any(
+            trace.spec.metadata.get("injected_fault") is not None
+            for trace in fast.traces
+        )
 
 
 class TestTrafficLayer:

@@ -75,6 +75,39 @@ def test_sigkilled_worker_resumes_byte_identically(tmp_path):
     assert killed.fleet.to_json() == baseline.fleet.to_json()
 
 
+def test_attribution_decisions_survive_sigkill_byte_identically(tmp_path):
+    """Failover with cause attribution on: the attributor's centroid state
+    rides the checkpoint, so attribution decisions (and the fleet-level
+    attribution scoring) must be byte-identical to an unkilled run."""
+    overrides = dict(
+        faults="lock_stall:0.3+gc_pause:0.2",
+        attribute=True,
+        train=6,
+    )
+
+    async def scenario():
+        baseline, baseline_dir = run(tmp_path, "baseline", **overrides)
+        killed, killed_dir = run(
+            tmp_path, "killed", kill=KillSpec(shard=shard_name(0)),
+            **overrides,
+        )
+        return (await baseline, baseline_dir), (await killed, killed_dir)
+
+    (baseline, baseline_dir), (killed, killed_dir) = asyncio.run(scenario())
+
+    assert killed.stats["worker_restarts"].get("w0", 0) >= 1
+    # Attribution actually ran: every decision record carries the field
+    # and the fleet report grew its scoring section.
+    assert baseline.fleet.attribution is not None
+    assert all(
+        "attributed_cause" in record for record in baseline.fleet.requests
+    )
+
+    assert decision_logs(baseline_dir) == decision_logs(killed_dir)
+    assert killed.worker_reports == baseline.worker_reports
+    assert killed.fleet.to_json() == baseline.fleet.to_json()
+
+
 def test_killing_the_other_worker_is_also_clean(tmp_path):
     async def scenario():
         baseline, _ = run(tmp_path, "baseline")

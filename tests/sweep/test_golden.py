@@ -13,7 +13,13 @@ import os
 
 import pytest
 
-from repro.sweep.golden import golden_path, golden_scenario
+from repro.sweep.golden import (
+    ATTRIBUTION_GOLDEN_MIXES,
+    attribution_golden_path,
+    attribution_golden_scenario,
+    golden_path,
+    golden_scenario,
+)
 from repro.sweep.scenario import result_to_json, run_scenario
 from repro.workloads.registry import SERVER_APPS
 
@@ -65,3 +71,47 @@ class TestGoldenCorpus:
         # multi-machine tier placement (rubis), not just clean runs.
         assert golden_scenario("tpcc").faults != "none"
         assert golden_scenario("rubis").placement.startswith("cluster:")
+
+
+class TestAttributionGoldenCorpus:
+    def test_corpus_covers_every_taxonomy_kind(self):
+        from repro.faults.taxonomy import FAULT_TAXONOMY
+
+        for kind in FAULT_TAXONOMY:
+            assert kind in ATTRIBUTION_GOLDEN_MIXES
+            assert os.path.exists(attribution_golden_path(kind, GOLDEN_DIR)), (
+                f"missing attribution golden for {kind!r}; regenerate with "
+                "'python -m repro.sweep --regen-golden'"
+            )
+
+    def test_composed_mix_is_pinned(self):
+        # The composed schedule keeps exercising concurrent clauses, an
+        # activation window, and a correlated burst.
+        spec = ATTRIBUTION_GOLDEN_MIXES["mix"]
+        assert "+" in spec and "@" in spec and "*" in spec
+
+    @pytest.mark.parametrize("name", sorted(ATTRIBUTION_GOLDEN_MIXES))
+    def test_attribution_matches_pinned_bytes(self, name):
+        path = attribution_golden_path(name, GOLDEN_DIR)
+        with open(path) as fh:
+            expected = fh.read()
+        document = run_scenario(attribution_golden_scenario(name))
+        assert document["online"]["attribution"] is not None
+        actual = result_to_json(document) + "\n"
+        if actual == expected:
+            return
+        diff = "".join(
+            difflib.unified_diff(
+                _pretty(expected),
+                _pretty(actual),
+                fromfile=f"golden/{os.path.basename(path)} (pinned)",
+                tofile="recomputed",
+                n=3,
+            )
+        )
+        pytest.fail(
+            f"attribution golden mismatch for fault mix {name!r}.\n"
+            "If this behavior change is intentional, regenerate with\n"
+            "    python -m repro.sweep --regen-golden\n"
+            "and commit the diff.\n\n" + diff
+        )

@@ -32,6 +32,7 @@ class TestExports:
             "repro.hardware",
             "repro.kernel",
             "repro.workloads",
+            "repro.faults",
             "repro.core",
             "repro.obs",
             "repro.analysis",
@@ -48,6 +49,7 @@ class TestExports:
             "repro.hardware",
             "repro.kernel",
             "repro.workloads",
+            "repro.faults",
             "repro.core",
             "repro.obs",
             "repro.sweep",

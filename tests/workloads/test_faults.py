@@ -174,12 +174,15 @@ class TestRegistryWiring:
                 parse_fault_spec(bad)
 
     def test_make_faulted_workload(self):
+        from repro.faults.schedule import ScheduledFaultWorkload
         from repro.workloads.registry import make_faulted_workload
 
         w = make_faulted_workload("tpcc", "cache_thrash:0.4")
-        assert isinstance(w, FaultInjectingWorkload)
-        assert w.fault_kind == "cache_thrash"
-        assert w.fault_probability == 0.4
+        assert isinstance(w, ScheduledFaultWorkload)
+        assert w.schedule.is_legacy
+        (clause,) = w.schedule.clauses
+        assert clause.kind == "cache_thrash"
+        assert clause.rate == 0.4
         assert w.name == "tpcc+cache_thrash"
         with pytest.raises(ValueError):
             make_faulted_workload("nosuchapp", "lock_stall:0.2")
